@@ -1,0 +1,40 @@
+package dbtf
+
+import (
+	"context"
+
+	"dbtf/internal/bcpals"
+	"dbtf/internal/walknmerge"
+)
+
+// BCPALSOptions configures FactorizeBCPALS; see the fields' documentation
+// for defaults.
+type BCPALSOptions = bcpals.Options
+
+// BCPALSResult reports a BCP_ALS factorization.
+type BCPALSResult = bcpals.Result
+
+// FactorizeBCPALS runs the BCP_ALS baseline (Miettinen, ICDM 2011): a
+// single-machine alternating Boolean CP decomposition with an ASSO-based
+// initialization whose cost is quadratic in the columns of each unfolded
+// tensor. Provided for comparison; Factorize is strictly more scalable.
+func FactorizeBCPALS(ctx context.Context, x *Tensor, opt BCPALSOptions) (*BCPALSResult, error) {
+	return bcpals.Decompose(ctx, x, opt)
+}
+
+// WalkNMergeOptions configures FactorizeWalkNMerge.
+type WalkNMergeOptions = walknmerge.Options
+
+// WalkNMergeResult reports a Walk'n'Merge factorization.
+type WalkNMergeResult = walknmerge.Result
+
+// WalkNMergeBlock is a dense sub-tensor found by Walk'n'Merge.
+type WalkNMergeBlock = walknmerge.Block
+
+// FactorizeWalkNMerge runs the Walk'n'Merge baseline (Erdős & Miettinen,
+// ICDM 2013): random walks over the nonzero graph discover dense blocks,
+// which are merged and converted to rank-1 factors. Provided for
+// comparison; Factorize is strictly more scalable.
+func FactorizeWalkNMerge(ctx context.Context, x *Tensor, opt WalkNMergeOptions) (*WalkNMergeResult, error) {
+	return walknmerge.Decompose(ctx, x, opt)
+}

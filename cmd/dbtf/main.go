@@ -1,0 +1,170 @@
+// Command dbtf factorizes a Boolean tensor file with DBTF or one of the
+// paper's baseline methods.
+//
+// Usage:
+//
+//	dbtf -input triples.tns -rank 10 [-method dbtf|bcpals|walknmerge] [flags]
+//
+// The input format is one "i j k" line per nonzero after a header line
+// "I J K" with the mode dimensions. On success the reconstruction error is
+// printed and, with -output, the three factor matrices are written as
+// 0/1 text files <prefix>.A, <prefix>.B, <prefix>.C.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dbtf"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dbtf:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dbtf", flag.ContinueOnError)
+	var (
+		input      = fs.String("input", "", "input tensor file (required)")
+		method     = fs.String("method", "dbtf", "factorization method: dbtf, tucker, bcpals, or walknmerge")
+		rank       = fs.Int("rank", 10, "decomposition rank R")
+		maxIter    = fs.Int("maxiter", 10, "maximum iterations T")
+		machines   = fs.Int("machines", 16, "simulated cluster size M (dbtf)")
+		partitions = fs.Int("partitions", 0, "vertical partitions N (dbtf; 0 = machines)")
+		sets       = fs.Int("sets", 1, "initial factor sets L (dbtf)")
+		groupBits  = fs.Int("groupbits", 15, "cache group bits V (dbtf)")
+		seed       = fs.Int64("seed", 1, "random seed")
+		autoRank   = fs.Int("auto-rank", 0, "select the rank by MDL up to this maximum (overrides -rank; dbtf method only)")
+		mdlSelect  = fs.Bool("mdl", false, "use MDL model-order selection (walknmerge method only)")
+		budget     = fs.Duration("budget", 0, "abort after this duration (0 = unlimited)")
+		output     = fs.String("output", "", "prefix for writing factor matrices")
+		verbose    = fs.Bool("v", false, "print per-iteration progress")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *input == "" {
+		fs.Usage()
+		return fmt.Errorf("-input is required")
+	}
+
+	x, err := dbtf.ReadTensorFile(*input)
+	if err != nil {
+		return err
+	}
+	i, j, k := x.Dims()
+	fmt.Printf("tensor: %dx%dx%d, %d nonzeros (density %.4g)\n", i, j, k, x.NNZ(), x.Density())
+
+	ctx := context.Background()
+	if *budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *budget)
+		defer cancel()
+	}
+
+	var trace func(string, ...any)
+	if *verbose {
+		trace = func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		}
+	}
+
+	start := time.Now()
+	var factors dbtf.Factors
+	var recErr int64
+	switch *method {
+	case "dbtf":
+		if *autoRank > 0 {
+			sel, err := dbtf.SelectRank(ctx, x, dbtf.Options{
+				MaxIter:        *maxIter,
+				InitialSets:    *sets,
+				Machines:       *machines,
+				Partitions:     *partitions,
+				CacheGroupBits: *groupBits,
+				Seed:           *seed,
+			}, *autoRank)
+			if err != nil {
+				return err
+			}
+			factors, recErr = sel.Result.Factors, sel.Result.Error
+			fmt.Printf("dbtf: MDL selected rank %d of max %d (%.0f bits vs %.0f baseline)\n",
+				sel.Rank, *autoRank, sel.Bits[sel.Rank-1], sel.BaselineBits)
+			break
+		}
+		res, err := dbtf.Factorize(ctx, x, dbtf.Options{
+			Rank:           *rank,
+			MaxIter:        *maxIter,
+			InitialSets:    *sets,
+			Machines:       *machines,
+			Partitions:     *partitions,
+			CacheGroupBits: *groupBits,
+			Seed:           *seed,
+			Trace:          trace,
+		})
+		if err != nil {
+			return err
+		}
+		factors, recErr = res.Factors, res.Error
+		fmt.Printf("dbtf: %d iterations, converged=%v\n", res.Iterations, res.Converged)
+		fmt.Printf("cluster: simulated %v on %d machines; shuffled %d B, broadcast %d B, collected %d B\n",
+			res.SimTime.Round(time.Millisecond), *machines,
+			res.Stats.ShuffledBytes, res.Stats.BroadcastBytes, res.Stats.CollectedBytes)
+	case "bcpals":
+		res, err := dbtf.FactorizeBCPALS(ctx, x, dbtf.BCPALSOptions{Rank: *rank, MaxIter: *maxIter})
+		if err != nil {
+			return err
+		}
+		factors = dbtf.Factors{A: res.A, B: res.B, C: res.C}
+		recErr = res.Error
+		fmt.Printf("bcpals: %d iterations, converged=%v\n", res.Iterations, res.Converged)
+	case "walknmerge":
+		res, err := dbtf.FactorizeWalkNMerge(ctx, x, dbtf.WalkNMergeOptions{Rank: *rank, Seed: *seed, MDLSelect: *mdlSelect})
+		if err != nil {
+			return err
+		}
+		factors = dbtf.Factors{A: res.A, B: res.B, C: res.C}
+		recErr = res.Error
+		fmt.Printf("walknmerge: %d blocks found\n", len(res.Blocks))
+	case "tucker":
+		res, err := dbtf.FactorizeTucker(ctx, x, dbtf.TuckerOptions{
+			CPRank:      *rank,
+			Machines:    *machines,
+			InitialSets: *sets,
+			Seed:        *seed,
+			MaxIter:     *maxIter,
+		})
+		if err != nil {
+			return err
+		}
+		factors = dbtf.Factors{A: res.A, B: res.B, C: res.C}
+		recErr = res.Error
+		p, q, sDim := res.Core.Dims()
+		fmt.Printf("tucker: core %dx%dx%d with %d ones (from CP rank %d, CP error %d)\n",
+			p, q, sDim, res.Core.NNZ(), *rank, res.CPError)
+	default:
+		return fmt.Errorf("unknown method %q (want dbtf, tucker, bcpals, or walknmerge)", *method)
+	}
+
+	rel := float64(0)
+	if x.NNZ() > 0 {
+		rel = float64(recErr) / float64(x.NNZ())
+	}
+	fmt.Printf("reconstruction error: %d (relative %.4f) in %v\n", recErr, rel, time.Since(start).Round(time.Millisecond))
+
+	if *output != "" {
+		for suffix, m := range map[string]*dbtf.FactorMatrix{"A": factors.A, "B": factors.B, "C": factors.C} {
+			path := *output + "." + suffix
+			if err := m.WriteFile(path); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%dx%d)\n", path, m.Rows(), m.Rank())
+		}
+	}
+	return nil
+}

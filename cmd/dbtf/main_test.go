@@ -1,0 +1,105 @@
+package main
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"dbtf"
+)
+
+func writeTensor(t *testing.T) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	x, _ := dbtf.TensorFromRandomFactors(rng, 12, 12, 12, 2, 0.25)
+	path := filepath.Join(t.TempDir(), "x.tns")
+	if err := x.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunRequiresInput(t *testing.T) {
+	if err := run([]string{"-rank", "2"}); err == nil {
+		t.Fatal("missing -input accepted")
+	}
+}
+
+func TestRunUnknownMethod(t *testing.T) {
+	path := writeTensor(t)
+	if err := run([]string{"-input", path, "-method", "bogus"}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run([]string{"-input", "/nonexistent/x.tns"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunDBTFWithOutput(t *testing.T) {
+	path := writeTensor(t)
+	prefix := filepath.Join(t.TempDir(), "factors")
+	if err := run([]string{"-input", path, "-rank", "2", "-machines", "2", "-output", prefix}); err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{".A", ".B", ".C"} {
+		m, err := dbtf.ReadFactorMatrix(prefix + suffix)
+		if err != nil {
+			t.Fatalf("factor file %s: %v", suffix, err)
+		}
+		if m.Rows() != 12 || m.Rank() != 2 {
+			t.Fatalf("factor file %s has shape %dx%d", suffix, m.Rows(), m.Rank())
+		}
+	}
+}
+
+func TestRunTucker(t *testing.T) {
+	path := writeTensor(t)
+	if err := run([]string{"-input", path, "-rank", "2", "-method", "tucker", "-machines", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBCPALS(t *testing.T) {
+	path := writeTensor(t)
+	if err := run([]string{"-input", path, "-rank", "2", "-method", "bcpals"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWalkNMerge(t *testing.T) {
+	path := writeTensor(t)
+	if err := run([]string{"-input", path, "-rank", "2", "-method", "walknmerge"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBudgetExceeded(t *testing.T) {
+	path := writeTensor(t)
+	if err := run([]string{"-input", path, "-rank", "4", "-budget", "1ns"}); err == nil {
+		t.Fatal("expired budget not surfaced")
+	}
+}
+
+func TestRunVerbose(t *testing.T) {
+	path := writeTensor(t)
+	if err := run([]string{"-input", path, "-rank", "2", "-v"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAutoRank(t *testing.T) {
+	path := writeTensor(t)
+	if err := run([]string{"-input", path, "-auto-rank", "4", "-machines", "2", "-sets", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWalkNMergeMDL(t *testing.T) {
+	path := writeTensor(t)
+	if err := run([]string{"-input", path, "-method", "walknmerge", "-mdl"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+package dbtf_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"dbtf"
+)
+
+// ExampleFactorize decomposes a small Boolean tensor holding one dense
+// block; rank 1 suffices for an exact fit.
+func ExampleFactorize() {
+	var coords []dbtf.Coord
+	for i := 0; i < 4; i++ {
+		for j := 2; j < 6; j++ {
+			for k := 1; k < 5; k++ {
+				coords = append(coords, dbtf.Coord{I: i, J: j, K: k})
+			}
+		}
+	}
+	x, err := dbtf.TensorFromCoords(8, 8, 8, coords)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := dbtf.Factorize(context.Background(), x, dbtf.Options{
+		Rank:        1,
+		Machines:    2,
+		InitialSets: 2,
+		Seed:        1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("error:", res.Error)
+	fmt.Println("rows of the block:", res.A.Column(0).Indices())
+	// Output:
+	// error: 0
+	// rows of the block: [0 1 2 3]
+}
+
+// ExampleSelectRank lets minimum description length choose the rank for a
+// tensor with two planted blocks.
+func ExampleSelectRank() {
+	var coords []dbtf.Coord
+	addBlock := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := lo; j < hi; j++ {
+				for k := lo; k < hi; k++ {
+					coords = append(coords, dbtf.Coord{I: i, J: j, K: k})
+				}
+			}
+		}
+	}
+	addBlock(0, 6)
+	addBlock(8, 14)
+	x, err := dbtf.TensorFromCoords(14, 14, 14, coords)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sel, err := dbtf.SelectRank(context.Background(), x, dbtf.Options{
+		Machines: 2, InitialSets: 4, Seed: 1,
+	}, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("selected rank:", sel.Rank)
+	fmt.Println("exact fit:", sel.Result.Error == 0)
+	// Output:
+	// selected rank: 2
+	// exact fit: true
+}
+
+// ExampleFactors_ReconstructError scores a factor set against the tensor
+// it was planted from.
+func ExampleFactors_ReconstructError() {
+	var coords []dbtf.Coord
+	for i := 0; i < 3; i++ {
+		coords = append(coords, dbtf.Coord{I: i, J: i, K: i})
+	}
+	x, err := dbtf.TensorFromCoords(3, 3, 3, coords)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The superdiagonal is rank 3: one component per diagonal cell.
+	res, err := dbtf.Factorize(context.Background(), x, dbtf.Options{
+		Rank: 3, Machines: 2, InitialSets: 4, Seed: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("error:", res.ReconstructError(x))
+	// Output:
+	// error: 0
+}

@@ -1,0 +1,78 @@
+// Rank selection and Boolean Tucker: choose the decomposition rank by
+// minimum description length, then compress the model further with a
+// Boolean Tucker core.
+//
+// The example plants a tensor with 3 disjoint blocks plus noise, lets MDL
+// pick the rank without being told it, and then builds a Tucker
+// decomposition whose core is smaller than the CP rank when components
+// share structure.
+//
+// Run with:
+//
+//	go run ./examples/rankselect
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dbtf"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(17))
+
+	// Plant 3 disjoint dense blocks and sprinkle noise.
+	var coords []dbtf.Coord
+	blocks := [][6]int{{0, 10, 0, 10, 0, 10}, {12, 20, 12, 20, 12, 20}, {22, 30, 22, 30, 22, 30}}
+	for _, b := range blocks {
+		for i := b[0]; i < b[1]; i++ {
+			for j := b[2]; j < b[3]; j++ {
+				for k := b[4]; k < b[5]; k++ {
+					coords = append(coords, dbtf.Coord{I: i, J: j, K: k})
+				}
+			}
+		}
+	}
+	for n := 0; n < 60; n++ {
+		coords = append(coords, dbtf.Coord{I: rng.Intn(32), J: rng.Intn(32), K: rng.Intn(32)})
+	}
+	x, err := dbtf.TensorFromCoords(32, 32, 32, coords)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("input: 32x32x32, %d nonzeros, 3 planted blocks + noise\n\n", x.NNZ())
+
+	// MDL rank selection: no rank hint given.
+	sel, err := dbtf.SelectRank(context.Background(), x, dbtf.Options{
+		Machines: 4, InitialSets: 4, Seed: 1,
+	}, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rank  description length (bits)")
+	for r, bits := range sel.Bits {
+		marker := ""
+		if r+1 == sel.Rank {
+			marker = "  <- selected"
+		}
+		fmt.Printf("%4d  %.0f%s\n", r+1, bits, marker)
+	}
+	fmt.Printf("baseline (no model): %.0f bits\n", sel.BaselineBits)
+	fmt.Printf("selected rank %d with error %d (relative %.3f)\n\n",
+		sel.Rank, sel.Result.Error, sel.Result.RelativeError)
+
+	// Boolean Tucker at the selected rank: on disjoint blocks the core
+	// stays superdiagonal-sized; on shared structure it shrinks.
+	tk, err := dbtf.FactorizeTucker(context.Background(), x, dbtf.TuckerOptions{
+		CPRank: sel.Rank, Machines: 4, InitialSets: 4, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, q, s := tk.Core.Dims()
+	fmt.Printf("tucker: core %dx%dx%d (%d ones), error %d (CP error %d)\n",
+		p, q, s, tk.Core.NNZ(), tk.Error, tk.CPError)
+}

@@ -1,0 +1,3 @@
+module dbtf
+
+go 1.22

@@ -1,0 +1,206 @@
+// Package asso implements the ASSO algorithm for Boolean matrix
+// factorization (Miettinen et al., "The Discrete Basis Problem", 2008),
+// the building block BCP_ALS uses to initialize its factor matrices.
+//
+// Given a binary matrix X ∈ B^{n×m} and a rank R, ASSO finds a usage
+// matrix U ∈ B^{n×R} and a basis matrix S ∈ B^{R×m} such that U ∘ S ≈ X:
+//
+//  1. It builds the m×m column association matrix whose (i, j) entry is
+//     the confidence ⟨x_:i, x_:j⟩ / ⟨x_:i, x_:i⟩, and thresholds each row
+//     at τ to obtain m candidate basis vectors.
+//  2. It greedily selects R candidates; each selection picks the candidate
+//     (and, per row, the usage bit) maximizing the cover gain
+//     w⁺·(newly covered ones) − w⁻·(newly covered zeros).
+//
+// The association matrix is quadratic in the number of columns — this is
+// precisely the initialization cost the DBTF paper identifies as
+// BCP_ALS's scalability bottleneck ("high space and time requirements
+// which are proportional to the squares of the number of columns of each
+// unfolded tensor"). The package keeps that behaviour deliberately and
+// bounds it with a context and an explicit memory cap so large inputs
+// fail the way the paper reports (out of time / out of memory) instead of
+// thrashing the host.
+package asso
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"dbtf/internal/bitvec"
+	"dbtf/internal/boolmat"
+)
+
+// ErrCandidateMemory is returned when materializing the m×m candidate set
+// would exceed Options.MaxCandidateBytes — ASSO's documented O(m²) space
+// bottleneck.
+var ErrCandidateMemory = errors.New("asso: candidate matrix exceeds memory cap")
+
+// Options configures an ASSO factorization.
+type Options struct {
+	// Rank is the number of basis vectors R. Required.
+	Rank int
+	// Tau is the association confidence threshold τ ∈ (0, 1]. Default 0.7
+	// (the value the paper's experiments use for BCP_ALS).
+	Tau float64
+	// WPlus and WMinus weight covered ones and erroneously covered zeros
+	// in the cover gain. Defaults 1 and 1.
+	WPlus, WMinus int
+	// MaxCandidateBytes caps the memory for the m×m candidate matrix.
+	// Default 1 GiB.
+	MaxCandidateBytes int64
+}
+
+func (o *Options) withDefaults() (Options, error) {
+	opt := *o
+	if opt.Rank < 1 || opt.Rank > boolmat.MaxRank {
+		return opt, fmt.Errorf("asso: rank %d outside [1,%d]", opt.Rank, boolmat.MaxRank)
+	}
+	if opt.Tau == 0 {
+		opt.Tau = 0.7
+	}
+	if opt.Tau <= 0 || opt.Tau > 1 {
+		return opt, fmt.Errorf("asso: tau %v outside (0,1]", opt.Tau)
+	}
+	if opt.WPlus == 0 {
+		opt.WPlus = 1
+	}
+	if opt.WMinus == 0 {
+		opt.WMinus = 1
+	}
+	if opt.WPlus < 0 || opt.WMinus < 0 {
+		return opt, fmt.Errorf("asso: negative cover weights %d/%d", opt.WPlus, opt.WMinus)
+	}
+	if opt.MaxCandidateBytes == 0 {
+		opt.MaxCandidateBytes = 1 << 30
+	}
+	return opt, nil
+}
+
+// Result is an ASSO factorization X ≈ U ∘ S.
+type Result struct {
+	// U is the n×R usage matrix.
+	U *boolmat.FactorMatrix
+	// S is the R×m basis matrix.
+	S *boolmat.Matrix
+	// Error is |X ⊕ U ∘ S|.
+	Error int64
+}
+
+// Factorize runs ASSO on x. The context bounds the run; cancellation is
+// checked inside the quadratic candidate construction and each greedy
+// round.
+func Factorize(ctx context.Context, x *boolmat.Matrix, opts Options) (*Result, error) {
+	opt, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	n, m := x.Rows(), x.Cols()
+	if n == 0 || m == 0 {
+		return nil, fmt.Errorf("asso: empty matrix %dx%d", n, m)
+	}
+	cands, err := Candidates(ctx, x, opt.Tau, opt.MaxCandidateBytes)
+	if err != nil {
+		return nil, err
+	}
+	u := boolmat.NewFactor(n, opt.Rank)
+	s := boolmat.NewMatrix(opt.Rank, m)
+	covered := boolmat.NewMatrix(n, m) // cells covered by selected components
+
+	for r := 0; r < opt.Rank; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		bestGain := 0
+		bestCand := -1
+		var bestUsage *bitvec.BitVec
+		for ci := 0; ci < cands.Rows(); ci++ {
+			cand := cands.Row(ci)
+			if !cand.Any() {
+				continue
+			}
+			gain, usage := coverGain(x, covered, cand, opt.WPlus, opt.WMinus)
+			if gain > bestGain {
+				bestGain, bestCand, bestUsage = gain, ci, usage
+			}
+		}
+		if bestCand < 0 {
+			break // no candidate improves the cover; remaining components stay empty
+		}
+		cand := cands.Row(bestCand)
+		s.Row(r).Or(cand)
+		bestUsage.Range(func(row int) {
+			u.Set(row, r, true)
+			covered.Row(row).Or(cand)
+		})
+	}
+
+	rec := boolmat.MulFactor(u, s)
+	return &Result{U: u, S: s, Error: int64(x.XorCount(rec))}, nil
+}
+
+// Candidates builds the thresholded column-association candidate matrix:
+// row i is {j : ⟨x_:i, x_:j⟩ / ⟨x_:i, x_:i⟩ ≥ τ}. Cost and size are
+// quadratic in the column count; maxBytes caps the materialized size.
+func Candidates(ctx context.Context, x *boolmat.Matrix, tau float64, maxBytes int64) (*boolmat.Matrix, error) {
+	m := x.Cols()
+	if need := (int64(m)*int64(m) + 7) / 8; maxBytes > 0 && need > maxBytes {
+		return nil, fmt.Errorf("%w: need %d bytes for %d×%d candidates", ErrCandidateMemory, need, m, m)
+	}
+	cols := make([]*bitvec.BitVec, m)
+	for j := 0; j < m; j++ {
+		col := bitvec.New(x.Rows())
+		for i := 0; i < x.Rows(); i++ {
+			if x.Get(i, j) {
+				col.Set(i)
+			}
+		}
+		cols[j] = col
+	}
+	cands := boolmat.NewMatrix(m, m)
+	for i := 0; i < m; i++ {
+		if i%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		base := cols[i].OnesCount()
+		if base == 0 {
+			continue
+		}
+		row := cands.Row(i)
+		for j := 0; j < m; j++ {
+			if float64(cols[i].AndCount(cols[j])) >= tau*float64(base) {
+				row.Set(j)
+			}
+		}
+	}
+	return cands, nil
+}
+
+// coverGain evaluates a candidate basis vector against the uncovered part
+// of x: for every row the usage bit is set exactly when the row's gain
+// w⁺·(new ones covered) − w⁻·(zeros covered) is positive; the returned
+// gain is the sum over used rows.
+func coverGain(x, covered *boolmat.Matrix, cand *bitvec.BitVec, wPlus, wMinus int) (int, *bitvec.BitVec) {
+	usage := bitvec.New(x.Rows())
+	total := 0
+	candPop := cand.OnesCount()
+	for row := 0; row < x.Rows(); row++ {
+		xr := x.Row(row)
+		cr := covered.Row(row)
+		// ones newly covered: |cand ∧ x_row| − |cand ∧ x_row ∧ covered|;
+		// zeros covered: |cand| − |cand ∧ x_row|.
+		onesAll := cand.AndCount(xr)
+		tmp := cand.Copy()
+		tmp.And(xr)
+		onesOld := tmp.AndCount(cr)
+		zeros := candPop - onesAll
+		gain := wPlus*(onesAll-onesOld) - wMinus*zeros
+		if gain > 0 {
+			usage.Set(row)
+			total += gain
+		}
+	}
+	return total, usage
+}

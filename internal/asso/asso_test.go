@@ -1,0 +1,153 @@
+package asso
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dbtf/internal/boolmat"
+)
+
+func ctxb() context.Context { return context.Background() }
+
+func TestValidation(t *testing.T) {
+	x := boolmat.NewMatrix(2, 2)
+	cases := []Options{
+		{Rank: 0},
+		{Rank: 65},
+		{Rank: 2, Tau: -0.5},
+		{Rank: 2, Tau: 1.5},
+		{Rank: 2, WPlus: -1},
+	}
+	for i, opt := range cases {
+		if _, err := Factorize(ctxb(), x, opt); err == nil {
+			t.Errorf("case %d: no error", i)
+		}
+	}
+	if _, err := Factorize(ctxb(), boolmat.NewMatrix(0, 3), Options{Rank: 1}); err == nil {
+		t.Error("empty matrix accepted")
+	}
+}
+
+func TestRecoverSingleBlock(t *testing.T) {
+	// A single all-ones block is rank 1 and must be recovered exactly.
+	x := boolmat.NewMatrix(10, 12)
+	for i := 2; i < 7; i++ {
+		for j := 3; j < 9; j++ {
+			x.Set(i, j, true)
+		}
+	}
+	res, err := Factorize(ctxb(), x, Options{Rank: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Error != 0 {
+		t.Fatalf("block not recovered: error %d", res.Error)
+	}
+	if got := boolmat.MulFactor(res.U, res.S); !got.Equal(x) {
+		t.Fatal("reconstruction differs from x")
+	}
+}
+
+func TestRecoverTwoDisjointBlocks(t *testing.T) {
+	x := boolmat.NewMatrix(12, 12)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			x.Set(i, j, true)
+		}
+	}
+	for i := 6; i < 12; i++ {
+		for j := 6; j < 12; j++ {
+			x.Set(i, j, true)
+		}
+	}
+	res, err := Factorize(ctxb(), x, Options{Rank: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Error != 0 {
+		t.Fatalf("two blocks not recovered: error %d", res.Error)
+	}
+}
+
+func TestErrorConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := boolmat.RandomMatrix(rng, 20, 25, 0.2)
+	res, err := Factorize(ctxb(), x, Options{Rank: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(x.XorCount(boolmat.MulFactor(res.U, res.S))); res.Error != want {
+		t.Fatalf("reported error %d != recomputed %d", res.Error, want)
+	}
+	if res.Error > int64(x.OnesCount()) {
+		t.Fatalf("error %d worse than empty factorization %d", res.Error, x.OnesCount())
+	}
+}
+
+func TestRankLimitedOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := boolmat.RandomMatrix(rng, 15, 15, 0.3)
+	res, err := Factorize(ctxb(), x, Options{Rank: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U.Rank() != 3 || res.S.Rows() != 3 {
+		t.Fatalf("shapes U:%d S:%d", res.U.Rank(), res.S.Rows())
+	}
+}
+
+func TestCandidatesDefinition(t *testing.T) {
+	// 4×3 matrix, columns: c0={0,1}, c1={0,1,2}, c2={3}.
+	x := boolmat.NewMatrix(4, 3)
+	x.Set(0, 0, true)
+	x.Set(1, 0, true)
+	x.Set(0, 1, true)
+	x.Set(1, 1, true)
+	x.Set(2, 1, true)
+	x.Set(3, 2, true)
+	cands, err := Candidates(ctxb(), x, 0.7, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0 (confidence from c0): c0→c0 = 1, c0→c1 = 2/2 = 1, c0→c2 = 0.
+	if !cands.Get(0, 0) || !cands.Get(0, 1) || cands.Get(0, 2) {
+		t.Errorf("candidate row 0 wrong: %v %v %v", cands.Get(0, 0), cands.Get(0, 1), cands.Get(0, 2))
+	}
+	// Row 1: c1→c0 = 2/3 < 0.7 → unset; c1→c1 = 1.
+	if cands.Get(1, 0) || !cands.Get(1, 1) {
+		t.Errorf("candidate row 1 wrong")
+	}
+}
+
+func TestMemoryCap(t *testing.T) {
+	x := boolmat.NewMatrix(4, 1000) // candidates would need 1000² bits = 125 KB
+	_, err := Factorize(ctxb(), x, Options{Rank: 1, MaxCandidateBytes: 1024})
+	if !errors.Is(err, ErrCandidateMemory) {
+		t.Fatalf("err = %v, want ErrCandidateMemory", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rng := rand.New(rand.NewSource(3))
+	x := boolmat.RandomMatrix(rng, 50, 200, 0.1)
+	if _, err := Factorize(ctx, x, Options{Rank: 2}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestNoImprovingCandidateLeavesComponentsEmpty(t *testing.T) {
+	// All-zero matrix: no candidate has positive gain; factors stay empty
+	// and the error is 0.
+	x := boolmat.NewMatrix(5, 5)
+	res, err := Factorize(ctxb(), x, Options{Rank: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Error != 0 || res.U.OnesCount() != 0 {
+		t.Fatalf("error %d, ones %d", res.Error, res.U.OnesCount())
+	}
+}

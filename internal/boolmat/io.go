@@ -1,0 +1,108 @@
+package boolmat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteTo writes the factor matrix in the text interchange format: a
+// header line "rows rank" followed by one line of '0'/'1' characters per
+// row.
+func (m *FactorMatrix) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	n, err := fmt.Fprintf(bw, "%d %d\n", m.Rows(), m.Rank())
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	line := make([]byte, m.r+1)
+	line[m.r] = '\n'
+	for i := 0; i < m.Rows(); i++ {
+		row := m.rows[i]
+		for c := 0; c < m.r; c++ {
+			if row&(1<<uint(c)) != 0 {
+				line[c] = '1'
+			} else {
+				line[c] = '0'
+			}
+		}
+		n, err := bw.Write(line)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}
+
+// ReadFactorFrom parses the text interchange format written by WriteTo.
+func ReadFactorFrom(r io.Reader) (*FactorMatrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("boolmat: empty factor input")
+	}
+	var rows, rank int
+	if _, err := fmt.Sscanf(sc.Text(), "%d %d", &rows, &rank); err != nil {
+		return nil, fmt.Errorf("boolmat: factor header %q: %w", sc.Text(), err)
+	}
+	if rows < 0 || rank < 0 || rank > MaxRank {
+		return nil, fmt.Errorf("boolmat: invalid factor shape %dx%d", rows, rank)
+	}
+	m := NewFactor(rows, rank)
+	for i := 0; i < rows; i++ {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("boolmat: factor input ends at row %d of %d", i, rows)
+		}
+		line := sc.Text()
+		if len(line) != rank {
+			return nil, fmt.Errorf("boolmat: row %d has %d entries, want %d", i, len(line), rank)
+		}
+		var mask uint64
+		for c := 0; c < rank; c++ {
+			switch line[c] {
+			case '1':
+				mask |= 1 << uint(c)
+			case '0':
+			default:
+				return nil, fmt.Errorf("boolmat: row %d has invalid character %q", i, line[c])
+			}
+		}
+		m.rows[i] = mask
+	}
+	return m, nil
+}
+
+// WriteFile writes the factor matrix to a file in the text interchange
+// format.
+func (m *FactorMatrix) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := m.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFactorFile reads a factor matrix from a file in the text interchange
+// format.
+func ReadFactorFile(path string) (*FactorMatrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFactorFrom(f)
+}

@@ -1,0 +1,98 @@
+package boolmat
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFactorIORoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := RandomFactor(rng, 17, 9, 0.4)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFactorFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(m) {
+		t.Fatal("roundtrip mismatch")
+	}
+}
+
+func TestFactorIOFileRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := RandomFactor(rng, 8, 5, 0.5)
+	path := filepath.Join(t.TempDir(), "m.fm")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFactorFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(m) {
+		t.Fatal("file roundtrip mismatch")
+	}
+}
+
+func TestFactorIOZeroShapes(t *testing.T) {
+	for _, m := range []*FactorMatrix{NewFactor(0, 3), NewFactor(3, 0), NewFactor(0, 0)} {
+		var buf bytes.Buffer
+		if _, err := m.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadFactorFrom(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(m) {
+			t.Fatalf("roundtrip mismatch for %dx%d", m.Rows(), m.Rank())
+		}
+	}
+}
+
+func TestReadFactorErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"bad header":    "x y\n",
+		"rank too big":  "1 65\n",
+		"negative":      "-1 2\n",
+		"short input":   "2 2\n01\n",
+		"short row":     "1 3\n01\n",
+		"long row":      "1 2\n011\n",
+		"bad character": "1 2\n0x\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadFactorFrom(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadFactorMissingFile(t *testing.T) {
+	if _, err := ReadFactorFile("/nonexistent/m.fm"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestQuickFactorIORoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := RandomFactor(rng, rng.Intn(40), rng.Intn(MaxRank+1), rng.Float64())
+		var buf bytes.Buffer
+		if _, err := m.WriteTo(&buf); err != nil {
+			return false
+		}
+		back, err := ReadFactorFrom(&buf)
+		return err == nil && back.Equal(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

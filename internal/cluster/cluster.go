@@ -1,0 +1,296 @@
+// Package cluster simulates the distributed substrate DBTF runs on. The
+// paper implements DBTF on Apache Spark over a 17-node cluster; this
+// package provides the equivalent single-process execution engine:
+//
+//   - M logical machines execute partition-parallel stages. Real execution
+//     uses a goroutine pool bounded by the host's CPUs so measured per-task
+//     durations approximate dedicated-core times.
+//   - A simulated clock tracks what the same stages would cost on M real
+//     machines: each stage contributes max-over-machines of the summed task
+//     durations of the tasks statically assigned to that machine (Spark's
+//     even partition placement), plus a configurable per-stage network cost
+//     fed by the engine's traffic accounting. Driver-side sequential
+//     sections contribute their measured duration directly.
+//   - Traffic counters record shuffled, broadcast, and collected bytes so
+//     the volume claims of the paper's Lemmas 6 and 7 can be validated.
+//
+// The machine-scalability experiment (paper Figure 7) reports simulated
+// makespans; all other experiments compare real wall-clock times of the
+// competing methods under the same engine.
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NetworkModel prices the simulated cluster's communication. A stage pays
+// LatencyPerStage once (barrier/synchronization cost) plus transfer time
+// for the traffic recorded since the previous stage. BytesPerSecond is
+// the per-link bandwidth; traffic classes use the links differently:
+//
+//   - shuffled and broadcast data flow to M machines in parallel
+//     (Spark's shuffle fan-out and torrent broadcast), so they are priced
+//     against M links;
+//   - collected data converges on the driver's single downlink.
+type NetworkModel struct {
+	LatencyPerStage time.Duration
+	BytesPerSecond  float64
+}
+
+// DefaultNetwork approximates a commodity gigabit-ethernet cluster like the
+// paper's testbed.
+var DefaultNetwork = NetworkModel{
+	LatencyPerStage: 2 * time.Millisecond,
+	BytesPerSecond:  125e6, // 1 Gbit/s
+}
+
+// Config configures a Cluster.
+type Config struct {
+	// Machines is the number of logical machines M. Must be >= 1.
+	Machines int
+	// Parallelism bounds the real goroutines executing tasks. Zero means
+	// min(Machines, GOMAXPROCS); measured task durations then approximate
+	// dedicated-core execution.
+	Parallelism int
+	// Network prices simulated communication. Zero value means
+	// DefaultNetwork.
+	Network NetworkModel
+}
+
+// Stats holds the cumulative traffic and execution counters of a cluster.
+type Stats struct {
+	// ShuffledBytes is data repartitioned across machines: the one-off
+	// distribution of unfolded tensor partitions (Lemma 6).
+	ShuffledBytes int64
+	// BroadcastBytes is data sent from the driver to every machine: the
+	// factor matrices at each iteration (Lemma 7). Recorded already
+	// multiplied by the machine count.
+	BroadcastBytes int64
+	// CollectedBytes is data returned from partitions to the driver: the
+	// per-column error vectors (Lemma 7).
+	CollectedBytes int64
+	// Stages is the number of parallel stages executed.
+	Stages int64
+	// Tasks is the number of tasks executed across all stages.
+	Tasks int64
+	// ComputeNanos, NetworkNanos and DriverNanos break the simulated
+	// elapsed time into stage makespans, modeled communication, and
+	// driver-side sequential sections.
+	ComputeNanos, NetworkNanos, DriverNanos int64
+	// TaskNanos is the summed duration of all tasks; ComputeNanos −
+	// TaskNanos/Machines measures load imbalance.
+	TaskNanos int64
+}
+
+// Cluster is a simulated multi-machine execution engine.
+type Cluster struct {
+	machines    int
+	parallelism int
+	network     NetworkModel
+
+	shuffled  atomic.Int64
+	broadcast atomic.Int64
+	collected atomic.Int64
+	stages    atomic.Int64
+	tasks     atomic.Int64
+
+	// now is the clock used to measure task and driver durations;
+	// replaceable in tests for deterministic ledger checks.
+	now func() time.Time
+
+	mu       sync.Mutex
+	simNanos int64 // simulated elapsed time
+	// breakdown of simNanos for diagnostics
+	computeNanos, netNanos, driverNanos, taskNanos int64
+	// stage-local traffic snapshots, used to price the network cost of
+	// the stage that is about to run, per traffic class.
+	lastShuffled, lastBroadcast, lastCollected int64
+}
+
+// New returns a cluster with the given configuration.
+func New(cfg Config) *Cluster {
+	if cfg.Machines < 1 {
+		panic(fmt.Sprintf("cluster: machines must be >= 1, got %d", cfg.Machines))
+	}
+	p := cfg.Parallelism
+	if p <= 0 {
+		p = cfg.Machines
+		if mp := runtime.GOMAXPROCS(0); p > mp {
+			p = mp
+		}
+	}
+	net := cfg.Network
+	if net == (NetworkModel{}) {
+		net = DefaultNetwork
+	}
+	return &Cluster{machines: cfg.Machines, parallelism: p, network: net, now: time.Now}
+}
+
+// Machines returns the number of logical machines M.
+func (c *Cluster) Machines() int { return c.machines }
+
+// Stats returns a snapshot of the traffic and execution counters.
+func (c *Cluster) Stats() Stats {
+	c.mu.Lock()
+	compute, network, driver, task := c.computeNanos, c.netNanos, c.driverNanos, c.taskNanos
+	c.mu.Unlock()
+	return Stats{
+		ShuffledBytes:  c.shuffled.Load(),
+		BroadcastBytes: c.broadcast.Load(),
+		CollectedBytes: c.collected.Load(),
+		Stages:         c.stages.Load(),
+		Tasks:          c.tasks.Load(),
+		ComputeNanos:   compute,
+		NetworkNanos:   network,
+		DriverNanos:    driver,
+		TaskNanos:      task,
+	}
+}
+
+// Shuffle records bytes moved between machines during repartitioning.
+func (c *Cluster) Shuffle(bytes int64) { c.shuffled.Add(bytes) }
+
+// Broadcast records bytes sent from the driver to every machine; the
+// recorded traffic is bytes × Machines, matching Lemma 7's O(M·I·R) term.
+func (c *Cluster) Broadcast(bytes int64) { c.broadcast.Add(bytes * int64(c.machines)) }
+
+// Collect records bytes returned from partitions to the driver.
+func (c *Cluster) Collect(bytes int64) { c.collected.Add(bytes) }
+
+// ForEach runs n tasks as one parallel stage. Task t is logically placed on
+// machine t mod M. Real execution is bounded by the configured parallelism.
+// The first error (or recovered panic) aborts the stage and is returned;
+// remaining queued tasks are skipped.
+//
+// The simulated clock advances by the stage makespan: the maximum over
+// machines of the summed durations of the machine's tasks, plus the network
+// cost of traffic recorded since the previous stage boundary.
+func (c *Cluster) ForEach(n int, fn func(task int) error) error {
+	if n < 0 {
+		panic("cluster: negative task count")
+	}
+	c.stages.Add(1)
+	c.tasks.Add(int64(n))
+
+	perMachine := make([]int64, c.machines) // summed task nanos per logical machine
+	var perMachineMu sync.Mutex
+
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		failed   atomic.Bool
+		firstErr atomic.Value
+	)
+	workers := c.parallelism
+	if workers > n {
+		workers = n
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= n || failed.Load() {
+					return
+				}
+				start := c.now()
+				err := runTask(fn, t)
+				dur := c.now().Sub(start).Nanoseconds()
+				perMachineMu.Lock()
+				perMachine[t%c.machines] += dur
+				perMachineMu.Unlock()
+				if err != nil {
+					if failed.CompareAndSwap(false, true) {
+						firstErr.Store(err)
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var makespan, taskSum int64
+	for _, m := range perMachine {
+		taskSum += m
+		if m > makespan {
+			makespan = m
+		}
+	}
+	c.mu.Lock()
+	dShuffled := c.shuffled.Load() - c.lastShuffled
+	dBroadcast := c.broadcast.Load() - c.lastBroadcast
+	dCollected := c.collected.Load() - c.lastCollected
+	c.lastShuffled += dShuffled
+	c.lastBroadcast += dBroadcast
+	c.lastCollected += dCollected
+	net := c.networkNanos(dShuffled, dBroadcast, dCollected)
+	c.taskNanos += taskSum
+	c.computeNanos += makespan
+	c.netNanos += net
+	c.simNanos += makespan + net
+	c.mu.Unlock()
+
+	if err, ok := firstErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+func (c *Cluster) networkNanos(shuffled, broadcast, collected int64) int64 {
+	nanos := c.network.LatencyPerStage.Nanoseconds()
+	if c.network.BytesPerSecond > 0 {
+		// Shuffle and broadcast land on M machines' links in parallel;
+		// collection funnels into the driver's one downlink.
+		parallel := float64(shuffled+broadcast) / (c.network.BytesPerSecond * float64(c.machines))
+		funnel := float64(collected) / c.network.BytesPerSecond
+		nanos += int64((parallel + funnel) * 1e9)
+	}
+	return nanos
+}
+
+func runTask(fn func(int) error, t int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cluster: task %d panicked: %v", t, r)
+		}
+	}()
+	return fn(t)
+}
+
+// Driver runs a sequential driver-side section and charges its measured
+// duration to the simulated clock. Column commits in DBTF — collecting the
+// per-partition errors and deciding each entry — are driver work.
+func (c *Cluster) Driver(fn func()) {
+	start := c.now()
+	fn()
+	dur := c.now().Sub(start).Nanoseconds()
+	c.mu.Lock()
+	c.simNanos += dur
+	c.driverNanos += dur
+	c.mu.Unlock()
+}
+
+// SimElapsed returns the simulated elapsed time on M machines.
+func (c *Cluster) SimElapsed() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Duration(c.simNanos)
+}
+
+// ResetClock zeroes the simulated clock and stage-traffic snapshots but
+// keeps the traffic counters. Used between timed experiment phases.
+func (c *Cluster) ResetClock() {
+	c.mu.Lock()
+	c.simNanos = 0
+	c.computeNanos, c.netNanos, c.driverNanos, c.taskNanos = 0, 0, 0, 0
+	c.lastShuffled = c.shuffled.Load()
+	c.lastBroadcast = c.broadcast.Load()
+	c.lastCollected = c.collected.Load()
+	c.mu.Unlock()
+}

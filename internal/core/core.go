@@ -1,0 +1,577 @@
+// Package core implements DBTF, the distributed Boolean CP decomposition
+// algorithm of the paper (Algorithms 2–5).
+//
+// Given a binary tensor X ∈ B^{I×J×K} and a rank R, Decompose finds binary
+// factor matrices A, B, C minimizing |X ⊕ ⋁_r a_:r ∘ b_:r ∘ c_:r| with the
+// alternating framework of Algorithm 1, executing each factor update as a
+// set of partition-parallel stages on a cluster:
+//
+//   - the three unfolded tensors are vertically partitioned once and never
+//     reshuffled (Section III-B, Algorithm 3);
+//   - each partition generates the slice of the Khatri–Rao product it
+//     needs from broadcast factor matrices and serves Boolean row
+//     summations from cache tables built per update (Section III-C,
+//     Algorithm 5);
+//   - factor matrices are updated column by column: partitions evaluate,
+//     for every row, the reconstruction error with the current column entry
+//     set to 0 and to 1, the driver collects the errors and commits the
+//     winning values (Section III-A, Algorithm 4).
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+	"time"
+
+	"dbtf/internal/bitvec"
+	"dbtf/internal/boolmat"
+	"dbtf/internal/cluster"
+	"dbtf/internal/partition"
+	"dbtf/internal/sumcache"
+	"dbtf/internal/tensor"
+)
+
+// InitScheme selects how the initial factor matrices are drawn.
+type InitScheme int
+
+const (
+	// InitFiberSample seeds every component r from the fiber cross of a
+	// uniformly sampled nonzero (i₀,j₀,k₀): a_:r, b_:r and c_:r become the
+	// indicator vectors of the mode-1, mode-2 and mode-3 fibers through
+	// that nonzero. This is the default: it keeps components anchored to
+	// the data, which the greedy column update requires (see InitRandom).
+	InitFiberSample InitScheme = iota
+	// InitRandom draws every factor entry independently at the configured
+	// InitDensity, as Algorithm 2 states literally. On sparse tensors this
+	// collapses to the all-zero factorization: a column entry is set only
+	// when the region newly covered by its component is majority-ones,
+	// which holds for a random component only at tensor density > 0.5.
+	// Kept for the initialization ablation.
+	InitRandom
+)
+
+// Options configures a decomposition. The zero value of every field selects
+// the default documented on the field.
+type Options struct {
+	// Rank is the number of components R. Required; 1 ≤ R ≤ 64.
+	Rank int
+	// MaxIter is the maximum number of iterations T. Default 10 (the
+	// paper's default).
+	MaxIter int
+	// MinIter disables the convergence check before this many iterations.
+	// Default 1; the runtime experiments set MinIter = MaxIter so every
+	// method performs the same number of full update sweeps.
+	MinIter int
+	// InitialSets is the number of random initial factor sets L evaluated
+	// in the first iteration, of which the best is kept (Algorithm 2,
+	// lines 5-8). Default 1 (the paper's default).
+	InitialSets int
+	// Partitions is the number of vertical partitions N per unfolded
+	// tensor. Default: the cluster's machine count.
+	Partitions int
+	// GroupBits is the cache-splitting threshold V (Lemma 2). Default 15
+	// (the paper's default).
+	GroupBits int
+	// Tolerance stops the iteration when the reconstruction error improves
+	// by at most this much between consecutive iterations. Default 0: stop
+	// when the error stops strictly decreasing.
+	Tolerance int64
+	// Init selects the initialization scheme. Default InitFiberSample.
+	Init InitScheme
+	// InitDensity is the density of the random initial factor matrices
+	// under InitRandom. Default: (density(X)/R)^(1/3) clamped to
+	// [0.01, 0.5], which makes the expected density of the initial
+	// reconstruction match the tensor's.
+	InitDensity float64
+	// Seed seeds the deterministic random initialization.
+	Seed int64
+	// NoCache disables the row-summation cache and recomputes every
+	// Boolean row summation from the factor columns (ablation of Section
+	// III-C; DBTF proper always caches).
+	NoCache bool
+	// Horizontal switches to horizontal (rank-dimension) partitioning of
+	// the Khatri–Rao product, the strawman design Section III-D argues
+	// against: every row summation then requires combining partial results
+	// across partitions through the driver.
+	Horizontal bool
+	// Trace, when non-nil, receives human-readable progress lines.
+	Trace func(format string, args ...any)
+}
+
+func (o *Options) withDefaults(x *tensor.Tensor, machines int) (Options, error) {
+	opt := *o
+	if opt.Rank < 1 || opt.Rank > boolmat.MaxRank {
+		return opt, fmt.Errorf("core: rank %d outside [1,%d]", opt.Rank, boolmat.MaxRank)
+	}
+	if opt.MaxIter == 0 {
+		opt.MaxIter = 10
+	}
+	if opt.MaxIter < 1 {
+		return opt, fmt.Errorf("core: MaxIter %d < 1", opt.MaxIter)
+	}
+	if opt.MinIter == 0 {
+		opt.MinIter = 1
+	}
+	if opt.MinIter < 1 || opt.MinIter > opt.MaxIter {
+		return opt, fmt.Errorf("core: MinIter %d outside [1,%d]", opt.MinIter, opt.MaxIter)
+	}
+	if opt.InitialSets == 0 {
+		opt.InitialSets = 1
+	}
+	if opt.InitialSets < 1 {
+		return opt, fmt.Errorf("core: InitialSets %d < 1", opt.InitialSets)
+	}
+	if opt.Partitions == 0 {
+		opt.Partitions = machines
+	}
+	if opt.Partitions < 1 {
+		return opt, fmt.Errorf("core: Partitions %d < 1", opt.Partitions)
+	}
+	if opt.GroupBits == 0 {
+		opt.GroupBits = sumcache.DefaultGroupBits
+	}
+	if opt.GroupBits < 1 {
+		return opt, fmt.Errorf("core: GroupBits %d < 1", opt.GroupBits)
+	}
+	if opt.Tolerance < 0 {
+		return opt, fmt.Errorf("core: Tolerance %d < 0", opt.Tolerance)
+	}
+	if opt.InitDensity == 0 {
+		d := math.Cbrt(x.Density() / float64(opt.Rank))
+		opt.InitDensity = math.Min(0.5, math.Max(0.01, d))
+	}
+	if opt.InitDensity < 0 || opt.InitDensity > 1 {
+		return opt, fmt.Errorf("core: InitDensity %v outside [0,1]", opt.InitDensity)
+	}
+	return opt, nil
+}
+
+// Result reports the outcome of a decomposition.
+type Result struct {
+	// A, B, C are the binary factor matrices (I×R, J×R, K×R).
+	A, B, C *boolmat.FactorMatrix
+	// Error is the final Boolean reconstruction error |X ⊕ X̂|.
+	Error int64
+	// Iterations is the number of full iterations executed.
+	Iterations int
+	// Converged reports whether the error-improvement criterion stopped
+	// the iteration before MaxIter.
+	Converged bool
+	// InitialErrors holds the error of each of the L initial sets after
+	// the first iteration.
+	InitialErrors []int64
+	// Stats snapshots the cluster's traffic counters after the run.
+	Stats cluster.Stats
+	// SimTime is the simulated elapsed time on the cluster's machines.
+	SimTime time.Duration
+	// WallTime is the real elapsed time of the run.
+	WallTime time.Duration
+}
+
+// Decompose runs DBTF (Algorithm 2) on the given cluster. The context
+// bounds the run: cancellation or deadline expiry is checked between
+// stages and surfaces as the context's error.
+func Decompose(ctx context.Context, x *tensor.Tensor, cl *cluster.Cluster, opts Options) (*Result, error) {
+	if x == nil {
+		return nil, errors.New("core: nil tensor")
+	}
+	i, j, k := x.Dims()
+	if i == 0 || j == 0 || k == 0 {
+		return nil, fmt.Errorf("core: empty tensor %dx%dx%d", i, j, k)
+	}
+	opt, err := opts.withDefaults(x, cl.Machines())
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	cl.ResetClock()
+	d := &decomposition{ctx: ctx, x: x, cl: cl, opt: opt}
+	if err := d.partitionAll(); err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(opt.Seed))
+	res := &Result{}
+
+	// First iteration: try L random initial sets and keep the best
+	// (Algorithm 2, lines 5-8).
+	type set struct {
+		a, b, c *boolmat.FactorMatrix
+		err     int64
+	}
+	best := set{err: math.MaxInt64}
+	for l := 0; l < opt.InitialSets; l++ {
+		ia, ib, ic := initialSet(rng, x, opt)
+		s := set{a: ia, b: ib, c: ic}
+		if err := d.updateFactors(s.a, s.b, s.c); err != nil {
+			return nil, err
+		}
+		e, err := d.totalError(s.a, s.b, s.c)
+		if err != nil {
+			return nil, err
+		}
+		s.err = e
+		res.InitialErrors = append(res.InitialErrors, e)
+		d.trace("initial set %d/%d: error %d", l+1, opt.InitialSets, e)
+		if e < best.err {
+			best = s
+		}
+	}
+	a, b, c, prevErr := best.a, best.b, best.c, best.err
+	res.Iterations = 1
+
+	for t := 2; t <= opt.MaxIter; t++ {
+		if err := d.updateFactors(a, b, c); err != nil {
+			return nil, err
+		}
+		e, err := d.totalError(a, b, c)
+		if err != nil {
+			return nil, err
+		}
+		res.Iterations = t
+		d.trace("iteration %d: error %d", t, e)
+		if t >= opt.MinIter && prevErr-e <= opt.Tolerance {
+			prevErr = e
+			res.Converged = true
+			break
+		}
+		prevErr = e
+	}
+
+	res.A, res.B, res.C = a, b, c
+	res.Error = prevErr
+	res.Stats = cl.Stats()
+	res.SimTime = cl.SimElapsed()
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+// initialSet draws one set of initial factor matrices according to the
+// configured scheme.
+func initialSet(rng *rand.Rand, x *tensor.Tensor, opt Options) (a, b, c *boolmat.FactorMatrix) {
+	i, j, k := x.Dims()
+	if opt.Init == InitRandom {
+		return boolmat.RandomFactor(rng, i, opt.Rank, opt.InitDensity),
+			boolmat.RandomFactor(rng, j, opt.Rank, opt.InitDensity),
+			boolmat.RandomFactor(rng, k, opt.Rank, opt.InitDensity)
+	}
+	a = boolmat.NewFactor(i, opt.Rank)
+	b = boolmat.NewFactor(j, opt.Rank)
+	c = boolmat.NewFactor(k, opt.Rank)
+	coords := x.Coords()
+	if len(coords) == 0 {
+		return a, b, c
+	}
+	// covered reports whether a cell lies inside the block of an earlier
+	// component; seeds are rejection-sampled away from covered cells so
+	// the components spread over distinct structures instead of piling
+	// onto the densest one.
+	covered := func(co tensor.Coord, upto int) bool {
+		for r := 0; r < upto; r++ {
+			if a.Get(co.I, r) && b.Get(co.J, r) && c.Get(co.K, r) {
+				return true
+			}
+		}
+		return false
+	}
+	for r := 0; r < opt.Rank; r++ {
+		seed := coords[rng.Intn(len(coords))]
+		for try := 0; try < 50 && covered(seed, r); try++ {
+			seed = coords[rng.Intn(len(coords))]
+		}
+		// a_:r is the mode-1 fiber through the seed; b_:r and c_:r are
+		// grown from it by majority vote: an index joins the component
+		// when at least half of the a-members support it. This turns the
+		// seed's fiber cross into a block estimate, which the alternating
+		// updates then refine.
+		var aIdx []int
+		for ii := 0; ii < i; ii++ {
+			if x.Get(ii, seed.J, seed.K) {
+				a.Set(ii, r, true)
+				aIdx = append(aIdx, ii)
+			}
+		}
+		quorum := (len(aIdx) + 1) / 2
+		if quorum < 1 {
+			quorum = 1
+		}
+		for jj := 0; jj < j; jj++ {
+			votes := 0
+			for _, ii := range aIdx {
+				if x.Get(ii, jj, seed.K) {
+					votes++
+				}
+			}
+			if votes >= quorum {
+				b.Set(jj, r, true)
+			}
+		}
+		for kk := 0; kk < k; kk++ {
+			votes := 0
+			for _, ii := range aIdx {
+				if x.Get(ii, seed.J, kk) {
+					votes++
+				}
+			}
+			if votes >= quorum {
+				c.Set(kk, r, true)
+			}
+		}
+	}
+	return a, b, c
+}
+
+type decomposition struct {
+	ctx context.Context
+	x   *tensor.Tensor
+	cl  *cluster.Cluster
+	opt Options
+	px  [3]*partition.Partitioned
+}
+
+func (d *decomposition) trace(format string, args ...any) {
+	if d.opt.Trace != nil {
+		d.opt.Trace(format, args...)
+	}
+}
+
+// partitionAll unfolds the tensor in its three modes and partitions each
+// unfolding (Algorithm 2, lines 1-3). The shuffle volume of distributing
+// the partitions is charged to the cluster (Lemma 6).
+func (d *decomposition) partitionAll() error {
+	err := d.cl.ForEach(3, func(m int) error {
+		u := d.x.Unfold(tensor.Mode(m + 1))
+		d.px[m] = partition.Build(u, d.opt.Partitions)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, px := range d.px {
+		d.cl.Shuffle(px.ShuffleBytes)
+	}
+	return nil
+}
+
+// updateFactors updates A, B and C in place, one at a time while the other
+// two are fixed (Algorithm 2, UpdateFactors). The factor matrices are
+// broadcast to every machine once per call (Lemma 7).
+func (d *decomposition) updateFactors(a, b, c *boolmat.FactorMatrix) error {
+	bytes := int64(a.Rows()+b.Rows()+c.Rows()) * int64(d.opt.Rank) / 8
+	d.cl.Broadcast(bytes)
+	// X₍₁₎ ≈ A ∘ (C ⊙ B)ᵀ: PVM blocks indexed by rows of C, cache over B.
+	if err := d.updateFactor(d.px[0], a, c, b); err != nil {
+		return err
+	}
+	// X₍₂₎ ≈ B ∘ (C ⊙ A)ᵀ.
+	if err := d.updateFactor(d.px[1], b, c, a); err != nil {
+		return err
+	}
+	// X₍₃₎ ≈ C ∘ (B ⊙ A)ᵀ.
+	return d.updateFactor(d.px[2], c, b, a)
+}
+
+// summer yields Boolean row summations for rank masks; it is the access
+// interface shared by the cache tables and the uncached ablation.
+type summer interface {
+	// Sum returns the Boolean row summation for mask and its popcount;
+	// scratch must be entry-width bits and may back the returned vector.
+	Sum(mask uint64, scratch *bitvec.BitVec) (*bitvec.BitVec, int)
+	// Width returns the entry width in bits.
+	Width() int
+}
+
+// cacheSummer adapts sumcache.Cache to the summer interface.
+type cacheSummer struct{ *sumcache.Cache }
+
+// naiveSummer recomputes every row summation by ORing the selected factor
+// columns, sliced to the block range — the behaviour DBTF's cache replaces.
+type naiveSummer struct {
+	cols  []*bitvec.BitVec // columns of M_s sliced to the block range
+	width int
+}
+
+func (s naiveSummer) Width() int { return s.width }
+
+func (s naiveSummer) Sum(mask uint64, scratch *bitvec.BitVec) (*bitvec.BitVec, int) {
+	scratch.Zero()
+	for m := mask; m != 0; m &= m - 1 {
+		scratch.Or(s.cols[bits.TrailingZeros64(m)])
+	}
+	return scratch, scratch.OnesCount()
+}
+
+// blockSummers builds, for one partition, a summer per block: the
+// distributed part of Algorithm 5. Full-product blocks share the
+// partition's full-size cache; partial blocks get sliced tables derived
+// from it (Lemma 3 bounds the distinct slices per partition).
+func (d *decomposition) blockSummers(p *partition.Partition, ms *boolmat.FactorMatrix) []summer {
+	out := make([]summer, len(p.Blocks))
+	if d.opt.NoCache {
+		cols := ms.Columns()
+		for bi, b := range p.Blocks {
+			sliced := make([]*bitvec.BitVec, len(cols))
+			for r, col := range cols {
+				sliced[r] = col.Slice(b.InnerLo, b.InnerLo+b.Width())
+			}
+			out[bi] = naiveSummer{cols: sliced, width: b.Width()}
+		}
+		return out
+	}
+	full := sumcache.NewFromFactor(ms, d.opt.GroupBits)
+	type sliceKey struct{ lo, hi int }
+	slices := map[sliceKey]*sumcache.Cache{}
+	for bi, b := range p.Blocks {
+		if b.Type == partition.Full {
+			out[bi] = cacheSummer{full}
+			continue
+		}
+		key := sliceKey{b.InnerLo, b.InnerLo + b.Width()}
+		sc, ok := slices[key]
+		if !ok {
+			sc = full.Slice(key.lo, key.hi)
+			slices[key] = sc
+		}
+		out[bi] = cacheSummer{sc}
+	}
+	return out
+}
+
+// updateFactor updates factor matrix a against the partitioned unfolding
+// px, where mf indexes the PVM blocks (the first Khatri–Rao operand) and
+// ms is cached (the second operand) — Algorithm 4.
+func (d *decomposition) updateFactor(px *partition.Partitioned, a, mf, ms *boolmat.FactorMatrix) error {
+	if d.opt.Horizontal {
+		return d.updateFactorHorizontal(px, a, mf, ms)
+	}
+	n := len(px.Parts)
+	p := a.Rows()
+
+	// Stage: build per-partition caches (Algorithm 5). Each partition owns
+	// its tables, matching the per-machine cost N·V·2^{R/⌈R/V⌉}·I of
+	// Lemma 4 step i.
+	summers := make([][]summer, n)
+	err := d.cl.ForEach(n, func(pi int) error {
+		summers[pi] = d.blockSummers(px.Parts[pi], ms)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Per-partition error accumulators for the two candidate values of the
+	// entry in the column under update.
+	errs0 := make([][]int64, n)
+	errs1 := make([][]int64, n)
+	for pi := range errs0 {
+		errs0[pi] = make([]int64, p)
+		errs1[pi] = make([]int64, p)
+	}
+
+	for c := 0; c < d.opt.Rank; c++ {
+		if err := d.ctx.Err(); err != nil {
+			return err
+		}
+		bit := uint64(1) << uint(c)
+		// Stage: every partition evaluates, for each row, the error of its
+		// column range under both candidate values (Algorithm 4 lines
+		// 4-9). Blocks whose PVM row mask lacks bit c contribute
+		// identically to both candidates and are skipped: the decision
+		// depends only on error differences.
+		err := d.cl.ForEach(n, func(pi int) error {
+			e0, e1 := errs0[pi], errs1[pi]
+			for r := range e0 {
+				e0[r], e1[r] = 0, 0
+			}
+			part := px.Parts[pi]
+			for bi, b := range part.Blocks {
+				kMask := mf.RowMask(b.PVM)
+				if kMask&bit == 0 {
+					continue
+				}
+				sm := summers[pi][bi]
+				scratch := bitvec.New(sm.Width())
+				for r := 0; r < p; r++ {
+					row := a.RowMask(r)
+					rowBits := b.RowBits(r)
+					key0 := (row &^ bit) & kMask
+					key1 := key0 | bit
+					sum0, pop0 := sm.Sum(key0, scratch)
+					e0[r] += rowError(rowBits, sum0, pop0)
+					sum1, pop1 := sm.Sum(key1, scratch)
+					e1[r] += rowError(rowBits, sum1, pop1)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		// The driver collects 2·P errors from every partition (Lemma 7)
+		// and commits the column (Algorithm 4 lines 10-12).
+		d.cl.Collect(int64(n) * int64(p) * 2 * 8)
+		d.cl.Driver(func() {
+			for r := 0; r < p; r++ {
+				var t0, t1 int64
+				for pi := 0; pi < n; pi++ {
+					t0 += errs0[pi][r]
+					t1 += errs1[pi][r]
+				}
+				a.Set(r, c, t1 < t0)
+			}
+		})
+	}
+	return nil
+}
+
+// rowError returns |x_row ⊕ sum| for a sparse row (bit offsets within the
+// block) against a dense candidate summation: nnz + |sum| − 2·overlap.
+// Work is proportional to the number of nonzeros (Lemma 4's note on step
+// iii).
+func rowError(rowBits []int32, sum *bitvec.BitVec, pop int) int64 {
+	overlap := 0
+	for _, b := range rowBits {
+		if sum.Get(int(b)) {
+			overlap++
+		}
+	}
+	return int64(len(rowBits) + pop - 2*overlap)
+}
+
+// totalError computes |X ⊕ X̂| from the mode-1 partitions with fresh
+// caches, as a distributed stage.
+func (d *decomposition) totalError(a, b, c *boolmat.FactorMatrix) (int64, error) {
+	px := d.px[0]
+	n := len(px.Parts)
+	partial := make([]int64, n)
+	err := d.cl.ForEach(n, func(pi int) error {
+		part := px.Parts[pi]
+		summers := d.blockSummers(part, b)
+		var e int64
+		for bi, blk := range part.Blocks {
+			kMask := c.RowMask(blk.PVM)
+			sm := summers[bi]
+			scratch := bitvec.New(sm.Width())
+			for r := 0; r < a.Rows(); r++ {
+				sum, pop := sm.Sum(a.RowMask(r)&kMask, scratch)
+				e += rowError(blk.RowBits(r), sum, pop)
+			}
+		}
+		partial[pi] = e
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	d.cl.Collect(int64(n) * 8)
+	var total int64
+	for _, e := range partial {
+		total += e
+	}
+	return total, nil
+}

@@ -1,0 +1,329 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section IV) on scaled-down workloads: the data-scalability
+// sweeps of Figure 1, the real-world comparison of Figure 6, the machine
+// scalability of Figure 7, the reconstruction-error sweeps of Section
+// IV-D, the traffic validation of Lemmas 6–7, and the ablations DESIGN.md
+// calls out.
+//
+// Each experiment is registered by the identifier used in DESIGN.md's
+// experiment index and returns a formatted Table; cmd/dbtf-bench prints
+// them and the root bench_test.go drives them under `go test -bench`.
+//
+// Per-run time budgets replace the paper's 6- and 12-hour walls: a method
+// exceeding the budget is reported as "o.o.t.", and BCP_ALS runs whose
+// quadratic initialization exceeds the memory cap are reported as
+// "o.o.m.", matching how the paper's figures mark failures.
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"dbtf"
+	"dbtf/internal/asso"
+)
+
+// Config carries the knobs every experiment shares.
+type Config struct {
+	// Budget is the per-run time budget standing in for the paper's
+	// out-of-time walls. Default 30s.
+	Budget time.Duration
+	// Machines is the simulated cluster size for DBTF. Default 16 (the
+	// paper's executor count).
+	Machines int
+	// Seed makes all generated data and methods deterministic.
+	Seed int64
+	// Scale shrinks or grows the default workload sizes. Default 1.0;
+	// the bench harness uses smaller scales to keep `go test -bench`
+	// turnaround reasonable.
+	Scale float64
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Budget == 0 {
+		c.Budget = 30 * time.Second
+	}
+	if c.Machines == 0 {
+		c.Machines = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Scale == 0 {
+		c.Scale = 1.0
+	}
+	return c
+}
+
+func (c Config) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed)) }
+
+func (c Config) progress(format string, args ...any) {
+	if c.Progress != nil {
+		fmt.Fprintf(c.Progress, format+"\n", args...)
+	}
+}
+
+// Method identifies a factorization method under comparison.
+type Method string
+
+// The three methods of the paper's evaluation.
+const (
+	DBTF       Method = "DBTF"
+	BCPALS     Method = "BCP_ALS"
+	WalkNMerge Method = "Walk'n'Merge"
+)
+
+// AllMethods is the comparison order used in every table.
+var AllMethods = []Method{DBTF, BCPALS, WalkNMerge}
+
+// Run is one method execution on one workload.
+type Run struct {
+	Method Method
+	// Wall is the real elapsed time; for budget-exceeded runs it is the
+	// budget.
+	Wall time.Duration
+	// Sim is the simulated cluster time (DBTF only).
+	Sim time.Duration
+	// OOT and OOM mark budget and memory failures.
+	OOT, OOM bool
+	// Err holds any other failure.
+	Err error
+	// Error is the Boolean reconstruction error (successful runs).
+	Error int64
+	// Rel is Error / |X|.
+	Rel float64
+	// Factors holds the fitted factors (successful runs).
+	Factors dbtf.Factors
+	// Stats holds DBTF's cluster traffic counters.
+	Stats dbtf.ClusterStats
+}
+
+// TimeCell formats the run's outcome for a runtime table.
+func (r Run) TimeCell() string {
+	switch {
+	case r.OOT:
+		return "o.o.t."
+	case r.OOM:
+		return "o.o.m."
+	case r.Err != nil:
+		return "error"
+	default:
+		return formatDuration(r.Wall)
+	}
+}
+
+// ErrCell formats the run's outcome for an accuracy table using the given
+// relative error value.
+func (r Run) ErrCell(v float64) string {
+	switch {
+	case r.OOT:
+		return "o.o.t."
+	case r.OOM:
+		return "o.o.m."
+	case r.Err != nil:
+		return "error"
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+func formatDuration(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	case d < time.Second:
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// MethodOptions carries the per-method tuning a workload needs.
+type MethodOptions struct {
+	Rank int
+	// MergeThreshold for Walk'n'Merge; 0 means its default. The paper sets
+	// it to 1 − (destructive noise level).
+	MergeThreshold float64
+	// InitialSets (L) for DBTF; 0 means 1.
+	InitialSets int
+	// Partitions (N) for DBTF; 0 means the cluster's machine count.
+	Partitions int
+	// FullIterations forces exactly 10 update sweeps for DBTF and BCP_ALS
+	// instead of stopping at convergence, so runtime sweeps measure the
+	// same amount of update work per method (random tensors otherwise
+	// converge after one or two sweeps).
+	FullIterations bool
+}
+
+// RunMethod executes one method on x under the config's budget and maps
+// failures to the table markers.
+func RunMethod(cfg Config, m Method, x *dbtf.Tensor, opt MethodOptions) Run {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Budget)
+	defer cancel()
+	run := Run{Method: m}
+	start := time.Now()
+	var err error
+	switch m {
+	case DBTF:
+		o := dbtf.Options{
+			Rank:        opt.Rank,
+			Machines:    cfg.Machines,
+			Partitions:  opt.Partitions,
+			InitialSets: opt.InitialSets,
+			Seed:        cfg.Seed,
+		}
+		if opt.FullIterations {
+			o.MaxIter, o.MinIter = 10, 10
+		}
+		var res *dbtf.Result
+		res, err = dbtf.Factorize(ctx, x, o)
+		if err == nil {
+			run.Sim = res.SimTime
+			run.Error = res.Error
+			run.Rel = res.RelativeError
+			run.Factors = res.Factors
+			run.Stats = res.Stats
+		}
+	case BCPALS:
+		o := dbtf.BCPALSOptions{Rank: opt.Rank}
+		if opt.FullIterations {
+			o.MaxIter, o.MinIter = 10, 10
+		}
+		var res *dbtf.BCPALSResult
+		res, err = dbtf.FactorizeBCPALS(ctx, x, o)
+		if err == nil {
+			run.Error = res.Error
+			run.Factors = dbtf.Factors{A: res.A, B: res.B, C: res.C}
+			if x.NNZ() > 0 {
+				run.Rel = float64(res.Error) / float64(x.NNZ())
+			}
+		}
+	case WalkNMerge:
+		var res *dbtf.WalkNMergeResult
+		res, err = dbtf.FactorizeWalkNMerge(ctx, x, dbtf.WalkNMergeOptions{
+			Rank:           opt.Rank,
+			MergeThreshold: opt.MergeThreshold,
+			Seed:           cfg.Seed,
+		})
+		if err == nil {
+			run.Error = res.Error
+			run.Factors = dbtf.Factors{A: res.A, B: res.B, C: res.C}
+			if x.NNZ() > 0 {
+				run.Rel = float64(res.Error) / float64(x.NNZ())
+			}
+		}
+	default:
+		err = fmt.Errorf("experiments: unknown method %q", m)
+	}
+	run.Wall = time.Since(start)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		run.OOT = true
+		run.Wall = cfg.Budget
+	case errors.Is(err, asso.ErrCandidateMemory):
+		run.OOM = true
+	case err != nil:
+		run.Err = err
+	}
+	cfg.progress("  %-13s %-10s rel=%s", m, run.TimeCell(), run.ErrCell(run.Rel))
+	return run
+}
+
+// Table is one reproduced table or figure, as formatted rows.
+type Table struct {
+	// ID is the DESIGN.md experiment identifier, e.g. "fig1a".
+	ID string
+	// Title describes the paper artifact reproduced.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows holds the formatted cells.
+	Rows [][]string
+	// Notes records workload parameters and deviations.
+	Notes []string
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var sb strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", sb.String())
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment is a registered, runnable paper artifact.
+type Experiment struct {
+	// ID is the identifier used by DESIGN.md and cmd/dbtf-bench.
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Run executes the experiment.
+	Run func(Config) *Table
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(Config) *Table) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns every registered experiment in a stable order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Lookup returns the experiment with the given ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"dbtf"
+)
+
+// tiny returns a config small and short enough for unit tests.
+func tiny() Config {
+	return Config{Budget: 5 * time.Second, Machines: 4, Seed: 1, Scale: 0.2}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1a", "fig1b", "fig1c", "fig6", "fig7",
+		"table1", "table3", "traffic",
+		"err-density", "err-rank", "err-add", "err-del",
+		"abl-cache", "abl-groupbits", "abl-partitioning", "abl-partitions", "abl-initsets",
+		"ext-tucker", "ext-rankselect", "ext-wnm-mdl",
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup accepted unknown id")
+	}
+}
+
+func TestAllExperimentsSmoke(t *testing.T) {
+	// Every registered experiment must run end to end at a tiny scale and
+	// produce a well-formed table. This is the integration test for the
+	// whole reproduction harness; the real measurements come from
+	// cmd/dbtf-bench and the bench suite.
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	cfg := Config{Budget: 3 * time.Second, Machines: 4, Seed: 1, Scale: 0.12}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl := e.Run(cfg)
+			if tbl.ID != e.ID {
+				t.Errorf("table ID %q != experiment ID %q", tbl.ID, e.ID)
+			}
+			if len(tbl.Header) == 0 || len(tbl.Rows) == 0 {
+				t.Fatalf("empty table: %+v", tbl)
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Header) {
+					t.Fatalf("row %v has %d cells, header has %d", row, len(row), len(tbl.Header))
+				}
+			}
+			var buf bytes.Buffer
+			tbl.Format(&buf)
+			if buf.Len() == 0 {
+				t.Fatal("Format produced nothing")
+			}
+		})
+	}
+}
+
+func TestRunMethodDBTF(t *testing.T) {
+	cfg := tiny()
+	x := dbtf.RandomTensor(cfg.rng(), 12, 12, 12, 0.1)
+	run := RunMethod(cfg, DBTF, x, MethodOptions{Rank: 2})
+	if run.OOT || run.OOM || run.Err != nil {
+		t.Fatalf("run failed: %+v", run)
+	}
+	if run.TimeCell() == "o.o.t." {
+		t.Fatal("TimeCell wrong for success")
+	}
+	if run.Stats.ShuffledBytes == 0 {
+		t.Fatal("missing traffic stats")
+	}
+}
+
+func TestRunMethodBudgetExceeded(t *testing.T) {
+	cfg := tiny()
+	cfg.Budget = time.Nanosecond
+	x := dbtf.RandomTensor(cfg.rng(), 16, 16, 16, 0.1)
+	run := RunMethod(cfg, DBTF, x, MethodOptions{Rank: 4})
+	if !run.OOT {
+		t.Fatalf("expected OOT, got %+v", run)
+	}
+	if run.TimeCell() != "o.o.t." {
+		t.Fatalf("TimeCell = %q", run.TimeCell())
+	}
+}
+
+func TestRunMethodUnknown(t *testing.T) {
+	cfg := tiny()
+	x := dbtf.RandomTensor(cfg.rng(), 4, 4, 4, 0.2)
+	if run := RunMethod(cfg, Method("bogus"), x, MethodOptions{Rank: 1}); run.Err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tbl := &Table{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"note text"},
+	}
+	var buf bytes.Buffer
+	tbl.Format(&buf)
+	out := buf.String()
+	for _, want := range []string{"x — demo", "a", "bb", "333", "note: note text"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig7ProducesSpeedups(t *testing.T) {
+	cfg := tiny()
+	tbl := Fig7MachineScalability(cfg)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (M=4,8,16)", len(tbl.Rows))
+	}
+	if tbl.Rows[0][2] != "1.00x" {
+		t.Fatalf("baseline speedup cell = %q", tbl.Rows[0][2])
+	}
+	// M=16 must be faster in simulated time than M=4.
+	if !strings.HasSuffix(tbl.Rows[2][2], "x") {
+		t.Fatalf("M=16 speedup cell = %q", tbl.Rows[2][2])
+	}
+}
+
+func TestTrafficValidationShapes(t *testing.T) {
+	tbl := TrafficValidation(tiny())
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	parse := func(s string) int64 {
+		var v int64
+		for _, ch := range s {
+			v = v*10 + int64(ch-'0')
+		}
+		return v
+	}
+	baseShuffle := parse(tbl.Rows[0][1])
+	denseShuffle := parse(tbl.Rows[1][1])
+	if denseShuffle <= baseShuffle {
+		t.Fatal("Lemma 6 shape violated: denser tensor shuffled fewer bytes")
+	}
+	baseBroadcast := parse(tbl.Rows[0][2])
+	m8Broadcast := parse(tbl.Rows[2][2])
+	if m8Broadcast != 2*baseBroadcast {
+		t.Fatalf("Lemma 7 shape violated: broadcast %d vs %d", m8Broadcast, baseBroadcast)
+	}
+	baseCollect := parse(tbl.Rows[0][3])
+	n8Collect := parse(tbl.Rows[3][3])
+	if n8Collect <= baseCollect {
+		t.Fatal("Lemma 7 shape violated: more partitions did not collect more")
+	}
+}
+
+func TestErrWorkloadConstruction(t *testing.T) {
+	cfg := tiny()
+	w := makeErrWorkload(cfg, "w", 0.2, 3, 0.1, 0.05)
+	if w.noisy.NNZ() == 0 || w.truth.NNZ() == 0 {
+		t.Fatal("empty workload")
+	}
+	if w.merge != 0.95 {
+		t.Fatalf("merge threshold %v, want 0.95", w.merge)
+	}
+	if w.noisy.Equal(w.truth) {
+		t.Fatal("noise not applied")
+	}
+}
+
+func TestAblationCacheRuns(t *testing.T) {
+	cfg := tiny()
+	tbl := AblationCache(cfg)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[1] == "error" || row[2] == "error" {
+			t.Fatalf("ablation run errored: %v", row)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package mdl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dbtf/internal/boolmat"
+	"dbtf/internal/tensor"
+)
+
+func TestBinomialBitsSmallExact(t *testing.T) {
+	cases := []struct {
+		n, k int64
+		want float64
+	}{
+		{0, 0, 0},
+		{5, 0, 0},
+		{5, 5, 0},
+		{4, 2, math.Log2(6)},
+		{10, 3, math.Log2(120)},
+	}
+	for _, tc := range cases {
+		if got := BinomialBits(tc.n, tc.k); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("BinomialBits(%d,%d) = %v, want %v", tc.n, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestBinomialBitsInvalid(t *testing.T) {
+	for _, tc := range [][2]int64{{-1, 0}, {3, -1}, {3, 4}} {
+		if !math.IsInf(BinomialBits(tc[0], tc[1]), 1) {
+			t.Errorf("BinomialBits(%d,%d) not +Inf", tc[0], tc[1])
+		}
+	}
+}
+
+func TestBinomialBitsSymmetry(t *testing.T) {
+	f := func(nRaw, kRaw uint16) bool {
+		n := int64(nRaw%1000) + 1
+		k := int64(kRaw) % (n + 1)
+		return math.Abs(BinomialBits(n, k)-BinomialBits(n, n-k)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorBitsMonotoneTowardHalf(t *testing.T) {
+	// More ones (up to n/2) means more positional information.
+	prev := VectorBits(100, 0)
+	for h := int64(1); h <= 50; h++ {
+		cur := VectorBits(100, h)
+		if cur <= prev {
+			t.Fatalf("VectorBits(100,%d)=%v not > VectorBits(100,%d)=%v", h, cur, h-1, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestFactorBitsSparserIsCheaper(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sparse := boolmat.RandomFactor(rng, 100, 5, 0.05)
+	dense := boolmat.RandomFactor(rng, 100, 5, 0.4)
+	if FactorBits(sparse) >= FactorBits(dense) {
+		t.Fatalf("sparse factor costs %v >= dense %v", FactorBits(sparse), FactorBits(dense))
+	}
+}
+
+func TestTotalBitsPerfectModelBeatsBaseline(t *testing.T) {
+	// A tensor with one large planted block compresses far better through
+	// its exact factors than as raw error cells.
+	rng := rand.New(rand.NewSource(2))
+	a := boolmat.RandomFactor(rng, 40, 1, 0.5)
+	b := boolmat.RandomFactor(rng, 40, 1, 0.5)
+	c := boolmat.RandomFactor(rng, 40, 1, 0.5)
+	x := tensor.Reconstruct(a, b, c)
+	if x.NNZ() < 100 {
+		t.Skip("degenerate planted block")
+	}
+	if TotalBits(x, a, b, c) >= BaselineBits(x) {
+		t.Fatalf("exact model %v bits not better than baseline %v", TotalBits(x, a, b, c), BaselineBits(x))
+	}
+}
+
+func TestTotalBitsOverfittedModelLosesToBaseline(t *testing.T) {
+	// Random noise has no structure: a full-rank "explanation" of it must
+	// cost more than just listing the noise.
+	rng := rand.New(rand.NewSource(3))
+	var coords []tensor.Coord
+	for n := 0; n < 50; n++ {
+		coords = append(coords, tensor.Coord{I: rng.Intn(30), J: rng.Intn(30), K: rng.Intn(30)})
+	}
+	x := tensor.MustFromCoords(30, 30, 30, coords)
+	// A dense rank-20 model that still fits nothing.
+	a := boolmat.RandomFactor(rng, 30, 20, 0.5)
+	b := boolmat.RandomFactor(rng, 30, 20, 0.5)
+	c := boolmat.RandomFactor(rng, 30, 20, 0.5)
+	if TotalBits(x, a, b, c) <= BaselineBits(x) {
+		t.Fatal("random dense model compresses noise better than baseline")
+	}
+}
+
+func TestErrorBitsZero(t *testing.T) {
+	if got := ErrorBits(10, 10, 10, 0); math.Abs(got-math.Log2(1001)) > 1e-9 {
+		t.Fatalf("ErrorBits(...,0) = %v", got)
+	}
+}
+
+func TestQuickTotalBitsFinite(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		i, j, k := rng.Intn(10)+1, rng.Intn(10)+1, rng.Intn(10)+1
+		r := rng.Intn(4) + 1
+		a := boolmat.RandomFactor(rng, i, r, 0.3)
+		b := boolmat.RandomFactor(rng, j, r, 0.3)
+		c := boolmat.RandomFactor(rng, k, r, 0.3)
+		x := tensor.Reconstruct(a, b, c)
+		bits := TotalBits(x, a, b, c)
+		return !math.IsInf(bits, 0) && !math.IsNaN(bits) && bits >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dbtf/internal/boolmat"
+	"dbtf/internal/tensor"
+)
+
+func planted(seed int64, i, j, k, r int, density float64) (*tensor.Tensor, *boolmat.FactorMatrix, *boolmat.FactorMatrix, *boolmat.FactorMatrix) {
+	rng := rand.New(rand.NewSource(seed))
+	a := boolmat.RandomFactor(rng, i, r, density)
+	b := boolmat.RandomFactor(rng, j, r, density)
+	c := boolmat.RandomFactor(rng, k, r, density)
+	return tensor.Reconstruct(a, b, c), a, b, c
+}
+
+func TestRelativeErrorPerfect(t *testing.T) {
+	x, a, b, c := planted(1, 10, 10, 10, 2, 0.3)
+	if got := RelativeError(x, a, b, c); got != 0 {
+		t.Fatalf("perfect factors: relative error %v", got)
+	}
+}
+
+func TestRelativeErrorTrivial(t *testing.T) {
+	x, _, _, _ := planted(2, 10, 10, 10, 2, 0.3)
+	zero := boolmat.NewFactor(10, 2)
+	if got := RelativeError(x, zero, zero, zero); got != 1 {
+		t.Fatalf("all-zero factors: relative error %v, want 1", got)
+	}
+}
+
+func TestRelativeErrorEmptyTensor(t *testing.T) {
+	x := tensor.New(4, 4, 4)
+	zero := boolmat.NewFactor(4, 1)
+	if got := RelativeError(x, zero, zero, zero); got != 0 {
+		t.Fatalf("empty tensor + empty factors: %v", got)
+	}
+	one := boolmat.NewFactor(4, 1)
+	one.Set(0, 0, true)
+	if got := RelativeError(x, one, one, one); got != 1 {
+		t.Fatalf("empty tensor + 1-cell reconstruction: %v, want 1", got)
+	}
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	// x = {(0,0,0), (1,1,1)}; reconstruction covers (0,0,0) and (0,0,1).
+	x := tensor.MustFromCoords(2, 2, 2, []tensor.Coord{{I: 0, J: 0, K: 0}, {I: 1, J: 1, K: 1}})
+	a := boolmat.NewFactor(2, 1)
+	b := boolmat.NewFactor(2, 1)
+	c := boolmat.NewFactor(2, 1)
+	a.Set(0, 0, true)
+	b.Set(0, 0, true)
+	c.Set(0, 0, true)
+	c.Set(1, 0, true)
+	p, r := PrecisionRecall(x, a, b, c)
+	if p != 0.5 || r != 0.5 {
+		t.Fatalf("precision %v recall %v, want 0.5/0.5", p, r)
+	}
+	if f := F1(p, r); f != 0.5 {
+		t.Fatalf("F1 = %v", f)
+	}
+	if F1(0, 0) != 0 {
+		t.Fatal("F1(0,0) != 0")
+	}
+}
+
+func TestPrecisionRecallEmptyReconstruction(t *testing.T) {
+	x := tensor.MustFromCoords(2, 2, 2, []tensor.Coord{{I: 0, J: 0, K: 0}})
+	zero := boolmat.NewFactor(2, 1)
+	p, r := PrecisionRecall(x, zero, zero, zero)
+	if p != 1 || r != 0 {
+		t.Fatalf("empty reconstruction: precision %v recall %v, want 1/0", p, r)
+	}
+}
+
+func TestFactorSimilarityIdentical(t *testing.T) {
+	_, a, b, c := planted(3, 8, 9, 10, 3, 0.3)
+	if got := FactorSimilarity(a, b, c, a, b, c); got != 1 {
+		t.Fatalf("self similarity %v, want 1", got)
+	}
+}
+
+func TestFactorSimilarityPermutationInvariant(t *testing.T) {
+	_, a, b, c := planted(4, 8, 9, 10, 3, 0.3)
+	perm := []int{2, 0, 1}
+	ap, bp, cp := a.PermuteColumns(perm), b.PermuteColumns(perm), c.PermuteColumns(perm)
+	if got := FactorSimilarity(a, b, c, ap, bp, cp); got != 1 {
+		t.Fatalf("permuted similarity %v, want 1", got)
+	}
+}
+
+func TestFactorSimilarityDisjoint(t *testing.T) {
+	a1 := boolmat.NewFactor(4, 1)
+	a1.Set(0, 0, true)
+	a2 := boolmat.NewFactor(4, 1)
+	a2.Set(1, 0, true)
+	if got := FactorSimilarity(a1, a1, a1, a2, a2, a2); got != 0 {
+		t.Fatalf("disjoint similarity %v, want 0", got)
+	}
+}
+
+func TestFactorSimilarityRankMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	FactorSimilarity(boolmat.NewFactor(2, 1), boolmat.NewFactor(2, 1), boolmat.NewFactor(2, 1),
+		boolmat.NewFactor(2, 2), boolmat.NewFactor(2, 2), boolmat.NewFactor(2, 2))
+}
+
+func TestRecoveryErrorBeatsNoisyFitForTrueFactors(t *testing.T) {
+	// For the true factors, recovery error against the clean tensor is 0
+	// even though the relative error against a noisy tensor is not.
+	x, a, b, c := planted(5, 12, 12, 12, 2, 0.3)
+	if RecoveryError(x, a, b, c) != 0 {
+		t.Fatal("true factors have nonzero recovery error")
+	}
+	noisy := tensor.MustFromCoords(12, 12, 12, append([]tensor.Coord{{I: 11, J: 11, K: 11}}, x.Coords()...))
+	if RelativeError(noisy, a, b, c) == 0 {
+		t.Fatal("noisy tensor unexpectedly fits perfectly")
+	}
+}
+
+func TestJaccardBothEmpty(t *testing.T) {
+	a := boolmat.NewFactor(5, 1)
+	if got := jaccard(a, 0, a, 0); got != 1 {
+		t.Fatalf("empty-empty jaccard %v, want 1", got)
+	}
+}
+
+func TestF1Harmonic(t *testing.T) {
+	if got := F1(1, 0.5); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("F1(1,0.5) = %v", got)
+	}
+}

@@ -1,0 +1,230 @@
+// Package partition implements DBTF's cache-friendly vertical partitioning
+// of unfolded tensors (paper Section III-D, Algorithm 3).
+//
+// An unfolded tensor X₍ₙ₎ ∈ B^{P×Q} is split column-wise into N contiguous
+// partitions of near-equal width (partition sizes differ by at most one
+// column, satisfying Algorithm 3's ⌊Q/N⌋ ≤ H ≤ ⌈Q/N⌉). Each partition is
+// further divided into blocks at the boundaries of the underlying pointwise
+// vector-matrix (PVM) products, so that every block lies within a single
+// PVM product and can fetch its Boolean row summations from one cache
+// table. Blocks are classified into the four types of Figure 5; Lemma 3
+// (at most three types per partition) is asserted by tests.
+//
+// Each block stores its nonzeros in compressed sparse row form with column
+// indices relative to the block start, the exact layout the error
+// evaluation of Algorithm 4 consumes.
+package partition
+
+import (
+	"fmt"
+
+	"dbtf/internal/tensor"
+)
+
+// BlockType classifies a block by how it meets the boundaries of its PVM
+// product (the numbered kinds of the paper's Figure 5).
+type BlockType int
+
+// Block types (1)-(4) of Figure 5.
+const (
+	// Interior blocks touch neither boundary of their PVM product: the
+	// partition lies strictly inside a single product.
+	Interior BlockType = 1
+	// Suffix blocks end exactly at their product's right boundary but
+	// start inside it.
+	Suffix BlockType = 2
+	// Full blocks cover an entire PVM product.
+	Full BlockType = 3
+	// Prefix blocks start exactly at their product's left boundary but end
+	// inside it.
+	Prefix BlockType = 4
+)
+
+// String returns the paper's numeral for the block type.
+func (t BlockType) String() string {
+	switch t {
+	case Interior:
+		return "(1)"
+	case Suffix:
+		return "(2)"
+	case Full:
+		return "(3)"
+	case Prefix:
+		return "(4)"
+	default:
+		return fmt.Sprintf("BlockType(%d)", int(t))
+	}
+}
+
+// Block is a maximal column range of a partition lying within a single PVM
+// product.
+type Block struct {
+	// PVM is the index of the covering PVM product: for mode-1 updates of
+	// A against X₍₁₎ ≈ A ∘ (C ⊙ B)ᵀ this is the row index k of C.
+	PVM int
+	// Lo and Hi delimit the block's global column range [Lo, Hi).
+	Lo, Hi int
+	// InnerLo is Lo − PVM·BlockSize: the block's starting offset inside
+	// its PVM product. A sliced cache over [InnerLo, InnerLo+width) serves
+	// this block.
+	InnerLo int
+	// Type is the Figure 5 classification.
+	Type BlockType
+
+	// CSR of the block's nonzeros: for row r, bits[rowPtr[r]:rowPtr[r+1]]
+	// are column indices relative to Lo, sorted ascending.
+	rowPtr []int32
+	bits   []int32
+}
+
+// Width returns the number of columns the block covers.
+func (b *Block) Width() int { return b.Hi - b.Lo }
+
+// RowBits returns row r's nonzero column offsets relative to the block
+// start. The slice is shared; callers must not modify it.
+func (b *Block) RowBits(r int) []int32 {
+	return b.bits[b.rowPtr[r]:b.rowPtr[r+1]]
+}
+
+// NNZ returns the number of nonzeros in the block.
+func (b *Block) NNZ() int { return len(b.bits) }
+
+// Partition is one contiguous vertical slice of an unfolded tensor.
+type Partition struct {
+	// Index is the partition's position 0..N-1.
+	Index int
+	// Lo and Hi delimit the partition's global column range [Lo, Hi).
+	Lo, Hi int
+	// Blocks are the partition's PVM-aligned blocks, in column order.
+	Blocks []*Block
+}
+
+// Width returns the number of columns the partition covers.
+func (p *Partition) Width() int { return p.Hi - p.Lo }
+
+// NNZ returns the number of nonzeros in the partition.
+func (p *Partition) NNZ() int {
+	n := 0
+	for _, b := range p.Blocks {
+		n += b.NNZ()
+	}
+	return n
+}
+
+// Partitioned is a vertically partitioned unfolded tensor: the cached,
+// distributed form px of Algorithm 3.
+type Partitioned struct {
+	// NumRows is the row count P of the unfolded tensor.
+	NumRows int
+	// NumCols is the column count Q.
+	NumCols int
+	// BlockSize is the PVM product width (rows of the second Khatri–Rao
+	// operand).
+	BlockSize int
+	// Parts holds the N partitions in column order.
+	Parts []*Partition
+	// ShuffleBytes estimates the data volume moved when distributing the
+	// partitions across machines (Lemma 6: O(|X|)).
+	ShuffleBytes int64
+}
+
+// Build vertically partitions an unfolded tensor into n partitions and
+// splits each partition into PVM-aligned blocks (Algorithm 3). n is capped
+// at the column count so every partition is nonempty; at least one
+// partition is always produced.
+func Build(u *tensor.Unfolded, n int) *Partitioned {
+	if n < 1 {
+		panic(fmt.Sprintf("partition: n must be >= 1, got %d", n))
+	}
+	if u.NumCols > 0 && n > u.NumCols {
+		n = u.NumCols
+	}
+	px := &Partitioned{
+		NumRows:   u.NumRows,
+		NumCols:   u.NumCols,
+		BlockSize: u.BlockSize,
+		// 12 bytes per nonzero (row, column) plus row-pointer overhead
+		// approximates the shuffled representation.
+		ShuffleBytes: int64(u.NNZ())*12 + int64(u.NumRows)*4,
+	}
+	for i := 0; i < n; i++ {
+		lo := i * u.NumCols / n
+		hi := (i + 1) * u.NumCols / n
+		p := &Partition{Index: i, Lo: lo, Hi: hi}
+		for _, span := range blockSpans(lo, hi, u.BlockSize) {
+			p.Blocks = append(p.Blocks, buildBlock(u, span))
+		}
+		px.Parts = append(px.Parts, p)
+	}
+	return px
+}
+
+type span struct {
+	pvm    int
+	lo, hi int
+}
+
+// blockSpans cuts [lo, hi) at multiples of blockSize.
+func blockSpans(lo, hi, blockSize int) []span {
+	var out []span
+	for cur := lo; cur < hi; {
+		pvm := cur / blockSize
+		end := (pvm + 1) * blockSize
+		if end > hi {
+			end = hi
+		}
+		out = append(out, span{pvm: pvm, lo: cur, hi: end})
+		cur = end
+	}
+	return out
+}
+
+func buildBlock(u *tensor.Unfolded, s span) *Block {
+	b := &Block{
+		PVM:     s.pvm,
+		Lo:      s.lo,
+		Hi:      s.hi,
+		InnerLo: s.lo - s.pvm*u.BlockSize,
+		Type:    classify(s, u.BlockSize),
+		rowPtr:  make([]int32, u.NumRows+1),
+	}
+	for r := 0; r < u.NumRows; r++ {
+		cols := u.RowInRange(r, s.lo, s.hi)
+		for _, c := range cols {
+			b.bits = append(b.bits, int32(c-s.lo))
+		}
+		b.rowPtr[r+1] = int32(len(b.bits))
+	}
+	return b
+}
+
+func classify(s span, blockSize int) BlockType {
+	left := s.lo == s.pvm*blockSize
+	right := s.hi == (s.pvm+1)*blockSize
+	switch {
+	case left && right:
+		return Full
+	case left:
+		return Prefix
+	case right:
+		return Suffix
+	default:
+		return Interior
+	}
+}
+
+// TypeSet returns the distinct block types present in the partition, in
+// ascending order. Lemma 3 guarantees at most three.
+func (p *Partition) TypeSet() []BlockType {
+	seen := map[BlockType]bool{}
+	var out []BlockType
+	for _, t := range []BlockType{Interior, Suffix, Full, Prefix} {
+		for _, b := range p.Blocks {
+			if b.Type == t && !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}

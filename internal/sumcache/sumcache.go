@@ -1,0 +1,201 @@
+// Package sumcache implements DBTF's cache of Boolean row summations
+// (paper Section III-C, Algorithm 5).
+//
+// Updating a factor matrix repeatedly computes Boolean sums of selected
+// rows of (C ⊙ B)ᵀ. Restricted to the columns of one pointwise
+// vector-matrix product (c_k: ⊛ B)ᵀ, such a sum is the OR of the columns
+// of B selected by the mask a_i: ∧ c_k: (Lemma 1 plus the Khatri–Rao
+// structure). A Cache precomputes those ORs for every possible mask:
+// entry m holds ⋁_{r ∈ m} b_:r as a Rows(B)-bit vector.
+//
+// Because the table has 2^R entries, ranks above a threshold V are split
+// into ⌈R/V⌉ groups of (nearly) equal size, each with its own table of at
+// most 2^⌈R/⌈R/V⌉⌉ entries (Lemma 2); a full summation then ORs one entry
+// per group.
+//
+// Partition blocks narrower than a full PVM product (block types (1), (2)
+// and (4) of Figure 5) use sliced caches derived from the full-size one in
+// a single pass (Algorithm 5, lines 3–5).
+package sumcache
+
+import (
+	"fmt"
+
+	"dbtf/internal/bitvec"
+	"dbtf/internal/boolmat"
+)
+
+// DefaultGroupBits is the paper's default for the threshold V: the maximum
+// number of rank bits covered by a single cache table.
+const DefaultGroupBits = 15
+
+// Cache holds precomputed Boolean row summations for all 2^R masks over R
+// rank bits, split into groups of at most V bits each.
+type Cache struct {
+	rank  int
+	width int // bits per entry
+	// groups[g] covers rank bits [shift, shift+bits).
+	groups []group
+}
+
+type group struct {
+	shift uint
+	bits  int
+	mask  uint64
+	// rows[m] = OR of the cached columns selected by m (within this group).
+	rows []*bitvec.BitVec
+	pop  []int32 // OnesCount of rows[m]
+}
+
+// New builds a cache over the given columns (column r is selected by mask
+// bit r); each column must have the same length, which becomes the entry
+// width. groupBits is the threshold V; values < 1 mean DefaultGroupBits.
+func New(cols []*bitvec.BitVec, groupBits int) *Cache {
+	if groupBits < 1 {
+		groupBits = DefaultGroupBits
+	}
+	r := len(cols)
+	if r > boolmat.MaxRank {
+		panic(fmt.Sprintf("sumcache: rank %d exceeds %d", r, boolmat.MaxRank))
+	}
+	width := 0
+	if r > 0 {
+		width = cols[0].Len()
+		for i, c := range cols {
+			if c.Len() != width {
+				panic(fmt.Sprintf("sumcache: column %d has %d bits, want %d", i, c.Len(), width))
+			}
+		}
+	}
+	c := &Cache{rank: r, width: width}
+	numGroups := 1
+	if r > groupBits {
+		numGroups = (r + groupBits - 1) / groupBits
+	}
+	base := 0
+	rem := 0
+	if numGroups > 0 && r > 0 {
+		base = r / numGroups
+		rem = r % numGroups
+	}
+	shift := uint(0)
+	for g := 0; g < numGroups; g++ {
+		bits := base
+		if g < rem {
+			bits++
+		}
+		if r == 0 {
+			bits = 0
+		}
+		c.groups = append(c.groups, buildGroup(cols, shift, bits, width))
+		shift += uint(bits)
+	}
+	return c
+}
+
+// NewFromFactor builds a cache over the columns of a factor matrix: the
+// caching matrix M_c of Algorithm 5 (B when updating A against
+// X₍₁₎ ≈ A ∘ (C ⊙ B)ᵀ).
+func NewFromFactor(m *boolmat.FactorMatrix, groupBits int) *Cache {
+	return New(m.Columns(), groupBits)
+}
+
+// buildGroup fills a 2^bits-entry table incrementally: each entry is one OR
+// away from a previously computed entry (drop the lowest set bit), so the
+// whole table costs O(2^bits) vector ORs — the paper's "incremental
+// computations that use prior row summation results" (Lemma 4, step i).
+func buildGroup(cols []*bitvec.BitVec, shift uint, bits, width int) group {
+	g := group{
+		shift: shift,
+		bits:  bits,
+		mask:  (uint64(1) << uint(bits)) - 1,
+		rows:  make([]*bitvec.BitVec, 1<<uint(bits)),
+		pop:   make([]int32, 1<<uint(bits)),
+	}
+	g.rows[0] = bitvec.New(width)
+	for m := uint64(1); m < uint64(len(g.rows)); m++ {
+		prev := m & (m - 1) // m without its lowest set bit
+		low := m ^ prev     // the lowest set bit
+		e := g.rows[prev].Copy()
+		e.Or(cols[shift+uint(bitIndex(low))])
+		g.rows[m] = e
+		g.pop[m] = int32(e.OnesCount())
+	}
+	return g
+}
+
+func bitIndex(single uint64) int {
+	n := 0
+	for single > 1 {
+		single >>= 1
+		n++
+	}
+	return n
+}
+
+// Rank returns the number of rank bits R the cache covers.
+func (c *Cache) Rank() int { return c.rank }
+
+// Width returns the number of bits per cached entry.
+func (c *Cache) Width() int { return c.width }
+
+// NumGroups returns the number of cache tables ⌈R/V⌉ (Lemma 2).
+func (c *Cache) NumGroups() int { return len(c.groups) }
+
+// Entries returns the total number of cached row summations across all
+// groups, for memory accounting (Lemma 5).
+func (c *Cache) Entries() int {
+	n := 0
+	for _, g := range c.groups {
+		n += len(g.rows)
+	}
+	return n
+}
+
+// Sum returns the Boolean row summation for the given mask along with its
+// popcount. With a single group the returned vector is the cache entry
+// itself — callers must treat it as read-only. With multiple groups the
+// per-group entries are ORed into scratch (which must have Width() bits)
+// and scratch is returned.
+func (c *Cache) Sum(mask uint64, scratch *bitvec.BitVec) (sum *bitvec.BitVec, pop int) {
+	if len(c.groups) == 1 {
+		g := &c.groups[0]
+		m := mask & g.mask
+		return g.rows[m], int(g.pop[m])
+	}
+	scratch.Zero()
+	for i := range c.groups {
+		g := &c.groups[i]
+		scratch.Or(g.rows[(mask>>g.shift)&g.mask])
+	}
+	return scratch, scratch.OnesCount()
+}
+
+// Slice derives a cache over bit range [lo, hi) of every entry, used for
+// partition blocks that cover only part of a PVM product. Each sliced
+// entry is produced with a single pass over the full-size table
+// (Algorithm 5: "vertically slice m such that the sliced one corresponds
+// to block b").
+func (c *Cache) Slice(lo, hi int) *Cache {
+	if lo < 0 || hi > c.width || lo > hi {
+		panic(fmt.Sprintf("sumcache: Slice [%d,%d) out of range of %d bits", lo, hi, c.width))
+	}
+	out := &Cache{rank: c.rank, width: hi - lo, groups: make([]group, len(c.groups))}
+	for i := range c.groups {
+		g := &c.groups[i]
+		ng := group{
+			shift: g.shift,
+			bits:  g.bits,
+			mask:  g.mask,
+			rows:  make([]*bitvec.BitVec, len(g.rows)),
+			pop:   make([]int32, len(g.rows)),
+		}
+		for m := range g.rows {
+			e := g.rows[m].Slice(lo, hi)
+			ng.rows[m] = e
+			ng.pop[m] = int32(e.OnesCount())
+		}
+		out.groups[i] = ng
+	}
+	return out
+}

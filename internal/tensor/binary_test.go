@@ -1,0 +1,128 @@
+package tensor
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := randomTensor(rng, 9, 11, 13, 0.15)
+	var buf bytes.Buffer
+	if err := x.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(x) {
+		t.Fatal("binary roundtrip mismatch")
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := randomTensor(rng, 64, 64, 64, 0.02)
+	var text, bin bytes.Buffer
+	if _, err := x.WriteTo(&text); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= text.Len() {
+		t.Fatalf("binary %d bytes not smaller than text %d", bin.Len(), text.Len())
+	}
+}
+
+func TestBinaryEmptyTensor(t *testing.T) {
+	x := New(5, 6, 7)
+	var buf bytes.Buffer
+	if err := x.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(x) {
+		t.Fatal("empty tensor roundtrip mismatch")
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":      {},
+		"bad magic":  []byte("XXXX"),
+		"truncated":  append([]byte("DBT1"), 0x05),
+		"bad coords": append([]byte("DBT1"), 2, 2, 2, 1, 9, 0, 0), // I=9 outside 2x2x2
+	}
+	for name, in := range cases {
+		if _, err := ReadBinary(bytes.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestBinaryFileRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randomTensor(rng, 6, 6, 6, 0.2)
+	path := filepath.Join(t.TempDir(), "x.btns")
+	if err := x.WriteBinaryFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(x) {
+		t.Fatal("file roundtrip mismatch")
+	}
+}
+
+func TestReadAnyFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := randomTensor(rng, 7, 7, 7, 0.15)
+	dir := t.TempDir()
+
+	textPath := filepath.Join(dir, "x.tns")
+	if err := x.WriteFile(textPath); err != nil {
+		t.Fatal(err)
+	}
+	binPath := filepath.Join(dir, "x.btns")
+	if err := x.WriteBinaryFile(binPath); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{textPath, binPath} {
+		back, err := ReadAnyFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if !back.Equal(x) {
+			t.Fatalf("%s: roundtrip mismatch", path)
+		}
+	}
+	if _, err := ReadAnyFile(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestQuickBinaryRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := randomTensor(rng, rng.Intn(12)+1, rng.Intn(12)+1, rng.Intn(12)+1, rng.Float64()*0.4)
+		var buf bytes.Buffer
+		if err := x.WriteBinary(&buf); err != nil {
+			return false
+		}
+		back, err := ReadBinary(&buf)
+		return err == nil && back.Equal(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,357 @@
+// Package tucker implements Boolean Tucker decomposition, the extension
+// the DBTF paper's related-work section discusses (Walk'n'Merge computes
+// Boolean Tucker decompositions via MDL; Boolean CP is the special case
+// of a superdiagonal core).
+//
+// A Boolean Tucker decomposition of X ∈ B^{I×J×K} is a binary core tensor
+// G ∈ B^{P×Q×S} and binary factor matrices A ∈ B^{I×P}, B ∈ B^{J×Q},
+// C ∈ B^{K×S} with
+//
+//	X ≈ ⋁_{p,q,s : g_pqs = 1}  a_:p ∘ b_:q ∘ c_:s.
+//
+// Decompose follows the CP-to-Tucker construction of Walk'n'Merge:
+//
+//  1. run DBTF's Boolean CP decomposition at rank R, giving a
+//     superdiagonal R×R×R core;
+//  2. merge near-duplicate factor columns per mode (Jaccard similarity ≥
+//     a threshold), ORing the corresponding core slices — this shrinks
+//     the core modes below R and is where Tucker beats CP on data whose
+//     modes share structure;
+//  3. greedily refine the core by single-bit flips while the
+//     reconstruction error decreases.
+package tucker
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+
+	"dbtf/internal/bitvec"
+	"dbtf/internal/boolmat"
+	"dbtf/internal/cluster"
+	"dbtf/internal/core"
+	"dbtf/internal/tensor"
+)
+
+// Options configures a Boolean Tucker decomposition.
+type Options struct {
+	// CPRank is the rank of the initial Boolean CP decomposition (the
+	// starting core is CPRank³ superdiagonal). Required; 1 ≤ CPRank ≤ 64.
+	CPRank int
+	// MergeThreshold is the Jaccard similarity at or above which two
+	// factor columns of the same mode are merged. Default 0.8; 1.0 merges
+	// only identical columns.
+	MergeThreshold float64
+	// MaxSweeps bounds the core-refinement sweeps. Default 2.
+	MaxSweeps int
+	// CP carries options forwarded to the underlying CP decomposition
+	// (Rank is overwritten with CPRank).
+	CP core.Options
+}
+
+func (o *Options) withDefaults() (Options, error) {
+	opt := *o
+	if opt.CPRank < 1 || opt.CPRank > boolmat.MaxRank {
+		return opt, fmt.Errorf("tucker: CPRank %d outside [1,%d]", opt.CPRank, boolmat.MaxRank)
+	}
+	if opt.MergeThreshold == 0 {
+		opt.MergeThreshold = 0.8
+	}
+	if opt.MergeThreshold <= 0 || opt.MergeThreshold > 1 {
+		return opt, fmt.Errorf("tucker: MergeThreshold %v outside (0,1]", opt.MergeThreshold)
+	}
+	if opt.MaxSweeps == 0 {
+		opt.MaxSweeps = 2
+	}
+	if opt.MaxSweeps < 0 {
+		return opt, fmt.Errorf("tucker: MaxSweeps %d < 0", opt.MaxSweeps)
+	}
+	return opt, nil
+}
+
+// Result reports a Boolean Tucker decomposition.
+type Result struct {
+	// Core is the binary core tensor G ∈ B^{P×Q×S}.
+	Core *tensor.Tensor
+	// A, B, C are the binary factor matrices (I×P, J×Q, K×S).
+	A, B, C *boolmat.FactorMatrix
+	// Error is |X ⊕ X̂| for the Tucker reconstruction.
+	Error int64
+	// CPError is the error of the initial CP decomposition; Error never
+	// exceeds it.
+	CPError int64
+	// CPRank is the starting CP rank; the core dims report the shrinkage
+	// achieved by column merging.
+	CPRank int
+}
+
+// Decompose computes a Boolean Tucker decomposition of x on the given
+// cluster.
+func Decompose(ctx context.Context, x *tensor.Tensor, cl *cluster.Cluster, opts Options) (*Result, error) {
+	opt, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	cpOpt := opt.CP
+	cpOpt.Rank = opt.CPRank
+	cp, err := core.Decompose(ctx, x, cl, cpOpt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Superdiagonal core: g_rrr = 1.
+	r := opt.CPRank
+	diag := make([]tensor.Coord, r)
+	for q := 0; q < r; q++ {
+		diag[q] = tensor.Coord{I: q, J: q, K: q}
+	}
+	g := tensor.MustFromCoords(r, r, r, diag)
+	a, b, c := cp.A, cp.B, cp.C
+
+	// Merge near-duplicate columns mode by mode, folding the core.
+	a, g = mergeColumns(a, g, 1, opt.MergeThreshold)
+	b, g = mergeColumns(b, g, 2, opt.MergeThreshold)
+	c, g = mergeColumns(c, g, 3, opt.MergeThreshold)
+
+	g, errNow, err := refineCore(ctx, x, g, a, b, c, opt.MaxSweeps)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Core: g, A: a, B: b, C: c,
+		Error:   errNow,
+		CPError: cp.Error,
+		CPRank:  r,
+	}, nil
+}
+
+// jaccard computes the Jaccard similarity of two equal-length bit vectors
+// (1 for two empty vectors).
+func jaccard(a, b *bitvec.BitVec) float64 {
+	inter := a.AndCount(b)
+	union := a.OnesCount() + b.OnesCount() - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// mergeColumns greedily unions columns of m whose Jaccard similarity
+// reaches the threshold, and folds the core along the given mode (1 for
+// A/P, 2 for B/Q, 3 for C/S) by ORing the merged slices.
+func mergeColumns(m *boolmat.FactorMatrix, g *tensor.Tensor, mode int, threshold float64) (*boolmat.FactorMatrix, *tensor.Tensor) {
+	r := m.Rank()
+	cols := m.Columns()
+	// target[c] is the representative column c merges into.
+	target := make([]int, r)
+	for c := range target {
+		target[c] = -1
+	}
+	var reps []int // representative old-column indices, in order
+	for c := 0; c < r; c++ {
+		merged := false
+		for _, rep := range reps {
+			if jaccard(cols[c], cols[rep]) >= threshold {
+				cols[rep].Or(cols[c]) // union grows the representative
+				target[c] = rep
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			target[c] = c
+			reps = append(reps, c)
+		}
+	}
+	// New factor matrix from representative columns.
+	newIdx := make(map[int]int, len(reps))
+	for i, rep := range reps {
+		newIdx[rep] = i
+	}
+	out := boolmat.NewFactor(m.Rows(), len(reps))
+	for i, rep := range reps {
+		cols[rep].Range(func(row int) { out.Set(row, i, true) })
+	}
+	// Fold the core: remap the mode's index through target→newIdx.
+	gi, gj, gk := g.Dims()
+	var coords []tensor.Coord
+	for _, co := range g.Coords() {
+		switch mode {
+		case 1:
+			co.I = newIdx[target[co.I]]
+		case 2:
+			co.J = newIdx[target[co.J]]
+		default:
+			co.K = newIdx[target[co.K]]
+		}
+		coords = append(coords, co)
+	}
+	switch mode {
+	case 1:
+		gi = len(reps)
+	case 2:
+		gj = len(reps)
+	default:
+		gk = len(reps)
+	}
+	return out, tensor.MustFromCoords(gi, gj, gk, coords)
+}
+
+// evaluator computes Tucker reconstruction errors incrementally: it keeps
+// the Kronecker rows of (C, B) and the per-core-slice ORs M_p, so a core
+// bit flip only rebuilds one M row before rescoring.
+type evaluator struct {
+	x       *tensor.Tensor
+	u       *tensor.Unfolded // mode-1 unfolding of x
+	a       *boolmat.FactorMatrix
+	p, q, s int
+	width   int                // J·K bits
+	kron    [][]*bitvec.BitVec // kron[q][s] = c_:s ⊗ b_:q
+	m       []*bitvec.BitVec   // m[p] = OR over (q,s) with g_pqs=1
+	g       *boolmat.Matrix    // core as a P × (Q·S) bit matrix for fast slice access
+}
+
+func newEvaluator(x *tensor.Tensor, g *tensor.Tensor, a, b, c *boolmat.FactorMatrix) *evaluator {
+	_, j1, k1 := x.Dims()
+	p, q, s := g.Dims()
+	e := &evaluator{
+		x: x, u: x.Unfold(tensor.Mode1), a: a,
+		p: p, q: q, s: s,
+		width: j1 * k1,
+	}
+	e.kron = make([][]*bitvec.BitVec, q)
+	for qq := 0; qq < q; qq++ {
+		e.kron[qq] = make([]*bitvec.BitVec, s)
+		bIdx := b.Column(qq).Indices()
+		for ss := 0; ss < s; ss++ {
+			v := bitvec.New(e.width)
+			c.Column(ss).Range(func(k int) {
+				base := k * j1
+				for _, j := range bIdx {
+					v.Set(base + j)
+				}
+			})
+			e.kron[qq][ss] = v
+		}
+	}
+	e.g = boolmat.NewMatrix(p, q*s)
+	for _, co := range g.Coords() {
+		e.g.Set(co.I, co.J*s+co.K, true)
+	}
+	e.m = make([]*bitvec.BitVec, p)
+	for pp := 0; pp < p; pp++ {
+		e.m[pp] = bitvec.New(e.width)
+		e.rebuildM(pp)
+	}
+	return e
+}
+
+func (e *evaluator) rebuildM(p int) {
+	e.m[p].Zero()
+	e.g.Row(p).Range(func(idx int) {
+		e.m[p].Or(e.kron[idx/e.s][idx%e.s])
+	})
+}
+
+// setCore assigns core bit (p, q, s) and rebuilds the affected M row.
+func (e *evaluator) setCore(p, q, s int, v bool) {
+	e.g.Set(p, q*e.s+s, v)
+	e.rebuildM(p)
+}
+
+func (e *evaluator) getCore(p, q, s int) bool { return e.g.Get(p, q*e.s+s) }
+
+// error computes |X ⊕ X̂| for the current core.
+func (e *evaluator) error() int64 {
+	rowBuf := bitvec.New(e.width)
+	var total int64
+	for i := 0; i < e.a.Rows(); i++ {
+		rowBuf.Zero()
+		for mask := e.a.RowMask(i); mask != 0; mask &= mask - 1 {
+			rowBuf.Or(e.m[bits.TrailingZeros64(mask)])
+		}
+		overlap := 0
+		for _, col := range e.u.Row(i) {
+			if rowBuf.Get(col) {
+				overlap++
+			}
+		}
+		total += int64(len(e.u.Row(i)) + rowBuf.OnesCount() - 2*overlap)
+	}
+	return total
+}
+
+// coreTensor exports the evaluator's core back to a tensor.
+func (e *evaluator) coreTensor() *tensor.Tensor {
+	var coords []tensor.Coord
+	for pp := 0; pp < e.p; pp++ {
+		e.g.Row(pp).Range(func(idx int) {
+			coords = append(coords, tensor.Coord{I: pp, J: idx / e.s, K: idx % e.s})
+		})
+	}
+	return tensor.MustFromCoords(e.p, e.q, e.s, coords)
+}
+
+// refineCore greedily flips single core bits while the reconstruction
+// error strictly decreases, for at most maxSweeps passes over the core.
+func refineCore(ctx context.Context, x, g *tensor.Tensor, a, b, c *boolmat.FactorMatrix, maxSweeps int) (*tensor.Tensor, int64, error) {
+	e := newEvaluator(x, g, a, b, c)
+	cur := e.error()
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		improved := false
+		for pp := 0; pp < e.p; pp++ {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
+			for qq := 0; qq < e.q; qq++ {
+				for ss := 0; ss < e.s; ss++ {
+					old := e.getCore(pp, qq, ss)
+					e.setCore(pp, qq, ss, !old)
+					if cand := e.error(); cand < cur {
+						cur = cand
+						improved = true
+					} else {
+						e.setCore(pp, qq, ss, old)
+					}
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return e.coreTensor(), cur, nil
+}
+
+// Reconstruct materializes the Boolean Tucker reconstruction
+// ⋁_{g_pqs=1} a_:p ∘ b_:q ∘ c_:s. Intended for small tensors and tests.
+func Reconstruct(g *tensor.Tensor, a, b, c *boolmat.FactorMatrix) *tensor.Tensor {
+	seen := make(map[tensor.Coord]struct{})
+	for _, co := range g.Coords() {
+		ai := a.Column(co.I).Indices()
+		bi := b.Column(co.J).Indices()
+		ci := c.Column(co.K).Indices()
+		for _, i := range ai {
+			for _, j := range bi {
+				for _, k := range ci {
+					seen[tensor.Coord{I: i, J: j, K: k}] = struct{}{}
+				}
+			}
+		}
+	}
+	coords := make([]tensor.Coord, 0, len(seen))
+	for co := range seen {
+		coords = append(coords, co)
+	}
+	return tensor.MustFromCoords(a.Rows(), b.Rows(), c.Rows(), coords)
+}
+
+// ReconstructError returns |x ⊕ X̂| for a Tucker model without
+// materializing the reconstruction's coordinate list.
+func ReconstructError(x, g *tensor.Tensor, a, b, c *boolmat.FactorMatrix) int64 {
+	return newEvaluator(x, g, a, b, c).error()
+}
+
+// Cluster is re-exported so callers of Decompose need not import the
+// cluster package separately.
+type Cluster = cluster.Cluster

@@ -1,0 +1,216 @@
+package tucker
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dbtf/internal/boolmat"
+	"dbtf/internal/cluster"
+	"dbtf/internal/core"
+	"dbtf/internal/tensor"
+)
+
+func ctxb() context.Context { return context.Background() }
+
+func testCluster() *cluster.Cluster { return cluster.New(cluster.Config{Machines: 2}) }
+
+func randomTucker(rng *rand.Rand, i, j, k, p, q, s int, coreDensity, factorDensity float64) (*tensor.Tensor, *tensor.Tensor, *boolmat.FactorMatrix, *boolmat.FactorMatrix, *boolmat.FactorMatrix) {
+	var coords []tensor.Coord
+	for pp := 0; pp < p; pp++ {
+		for qq := 0; qq < q; qq++ {
+			for ss := 0; ss < s; ss++ {
+				if rng.Float64() < coreDensity {
+					coords = append(coords, tensor.Coord{I: pp, J: qq, K: ss})
+				}
+			}
+		}
+	}
+	g := tensor.MustFromCoords(p, q, s, coords)
+	a := boolmat.RandomFactor(rng, i, p, factorDensity)
+	b := boolmat.RandomFactor(rng, j, q, factorDensity)
+	c := boolmat.RandomFactor(rng, k, s, factorDensity)
+	return Reconstruct(g, a, b, c), g, a, b, c
+}
+
+func TestValidation(t *testing.T) {
+	x := tensor.MustFromCoords(2, 2, 2, []tensor.Coord{{I: 0, J: 0, K: 0}})
+	cases := []Options{
+		{CPRank: 0},
+		{CPRank: 65},
+		{CPRank: 2, MergeThreshold: 1.5},
+		{CPRank: 2, MergeThreshold: -1},
+		{CPRank: 2, MaxSweeps: -1},
+	}
+	for i, opt := range cases {
+		if _, err := Decompose(ctxb(), x, testCluster(), opt); err == nil {
+			t.Errorf("case %d: no error", i)
+		}
+	}
+}
+
+func TestReconstructErrorMatchesMaterialized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		x, g, a, b, c := randomTucker(rng, rng.Intn(8)+2, rng.Intn(8)+2, rng.Intn(8)+2,
+			rng.Intn(3)+1, rng.Intn(3)+1, rng.Intn(3)+1, 0.5, 0.3)
+		// Score against a *different* random tensor to exercise nonzero
+		// errors too.
+		other, _, _, _, _ := randomTucker(rng, a.Rows(), b.Rows(), c.Rows(),
+			2, 2, 2, 0.5, 0.3)
+		if got, want := ReconstructError(x, g, a, b, c), int64(0); got != want {
+			t.Fatalf("trial %d: self error %d", trial, got)
+		}
+		want := int64(other.XorCount(Reconstruct(g, a, b, c)))
+		if got := ReconstructError(other, g, a, b, c); got != want {
+			t.Fatalf("trial %d: error %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestMergeColumnsIdentical(t *testing.T) {
+	// Two identical columns must merge, shrinking the factor and folding
+	// the core.
+	m := boolmat.NewFactor(4, 3)
+	for i := 0; i < 3; i++ {
+		m.Set(i, 0, true)
+		m.Set(i, 1, true) // column 1 duplicates column 0
+	}
+	m.Set(3, 2, true)
+	g := tensor.MustFromCoords(3, 3, 3, []tensor.Coord{{I: 0, J: 0, K: 0}, {I: 1, J: 1, K: 1}, {I: 2, J: 2, K: 2}})
+	out, g2 := mergeColumns(m, g, 1, 1.0)
+	if out.Rank() != 2 {
+		t.Fatalf("merged rank %d, want 2", out.Rank())
+	}
+	gi, gj, gk := g2.Dims()
+	if gi != 2 || gj != 3 || gk != 3 {
+		t.Fatalf("folded core dims %dx%dx%d", gi, gj, gk)
+	}
+	// Slices 0 and 1 of the core must have been ORed into slice 0.
+	if !g2.Get(0, 0, 0) || !g2.Get(0, 1, 1) {
+		t.Fatal("core slices not ORed on merge")
+	}
+}
+
+func TestMergeColumnsBelowThresholdKept(t *testing.T) {
+	m := boolmat.NewFactor(4, 2)
+	m.Set(0, 0, true)
+	m.Set(1, 1, true) // disjoint columns
+	g := tensor.MustFromCoords(2, 2, 2, []tensor.Coord{{I: 0, J: 0, K: 0}, {I: 1, J: 1, K: 1}})
+	out, _ := mergeColumns(m, g, 1, 0.9)
+	if out.Rank() != 2 {
+		t.Fatalf("disjoint columns merged: rank %d", out.Rank())
+	}
+}
+
+func TestDecomposeNeverWorseThanCP(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, _, _, _, _ := randomTucker(rng, 16, 16, 16, 3, 3, 3, 0.4, 0.25)
+	if x.NNZ() == 0 {
+		t.Skip("degenerate")
+	}
+	res, err := Decompose(ctxb(), x, testCluster(), Options{
+		CPRank: 4,
+		CP:     coreOptions(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Error > res.CPError {
+		t.Fatalf("Tucker error %d worse than CP error %d", res.Error, res.CPError)
+	}
+	// The reported error must match an independent computation.
+	if want := ReconstructError(x, res.Core, res.A, res.B, res.C); res.Error != want {
+		t.Fatalf("reported %d != recomputed %d", res.Error, want)
+	}
+}
+
+func TestDecomposeMergesSharedStructure(t *testing.T) {
+	// A tensor whose two CP components share the same A-column pattern:
+	// Tucker should end with fewer mode-1 columns than the CP rank after
+	// merging.
+	a := boolmat.NewFactor(12, 2)
+	b := boolmat.NewFactor(12, 2)
+	c := boolmat.NewFactor(12, 2)
+	for i := 0; i < 6; i++ {
+		a.Set(i, 0, true)
+		a.Set(i, 1, true) // same subjects
+	}
+	for j := 0; j < 5; j++ {
+		b.Set(j, 0, true)
+	}
+	for j := 6; j < 11; j++ {
+		b.Set(j, 1, true)
+	}
+	for k := 0; k < 5; k++ {
+		c.Set(k, 0, true)
+	}
+	for k := 6; k < 11; k++ {
+		c.Set(k, 1, true)
+	}
+	x := tensor.Reconstruct(a, b, c)
+	res, err := Decompose(ctxb(), x, testCluster(), Options{
+		CPRank:         2,
+		MergeThreshold: 0.99,
+		CP:             coreOptions(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, _ := res.Core.Dims()
+	if p > res.A.Rank() {
+		t.Fatalf("core mode-1 dim %d exceeds factor rank %d", p, res.A.Rank())
+	}
+	if res.Error != 0 {
+		t.Fatalf("shared-structure tensor not reconstructed exactly: error %d", res.Error)
+	}
+}
+
+func TestRefineCoreMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, _, _, _, _ := randomTucker(rng, 10, 10, 10, 2, 2, 2, 0.5, 0.3)
+	// Random wrong model to refine.
+	_, g, a, b, c := randomTucker(rng, 10, 10, 10, 3, 3, 3, 0.5, 0.3)
+	before := ReconstructError(x, g, a, b, c)
+	g2, after, err := refineCore(ctxb(), x, g, a, b, c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after > before {
+		t.Fatalf("refinement increased error: %d -> %d", before, after)
+	}
+	if got := ReconstructError(x, g2, a, b, c); got != after {
+		t.Fatalf("refined core error %d != reported %d", got, after)
+	}
+}
+
+func TestDecomposeContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	x := tensor.MustFromCoords(6, 6, 6, []tensor.Coord{{I: 0, J: 0, K: 0}})
+	if _, err := Decompose(ctx, x, testCluster(), Options{CPRank: 2, CP: coreOptions(2)}); err == nil {
+		t.Fatal("cancelled context not honored")
+	}
+}
+
+func TestQuickReconstructErrorAgainstNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		i, j, k := rng.Intn(6)+2, rng.Intn(6)+2, rng.Intn(6)+2
+		_, g, a, b, c := randomTucker(rng, i, j, k, rng.Intn(3)+1, rng.Intn(3)+1, rng.Intn(3)+1, 0.4, 0.4)
+		x, _, _, _, _ := randomTucker(rng, i, j, k, 2, 2, 2, 0.4, 0.4)
+		return ReconstructError(x, g, a, b, c) == int64(x.XorCount(Reconstruct(g, a, b, c)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// coreOptions builds deterministic CP options for tests.
+func coreOptions(rank int) (o core.Options) {
+	o.Rank = rank
+	o.Seed = 1
+	o.InitialSets = 2
+	return o
+}

@@ -1,0 +1,85 @@
+package walknmerge
+
+import (
+	"context"
+
+	"dbtf/internal/mdl"
+	"dbtf/internal/tensor"
+)
+
+// selectMDL greedily picks the subset of blocks that minimizes the
+// description length of x: each round adds the block with the largest
+// bits saving (ones newly explained vs zeros wrongly covered plus the
+// block's own encoding cost) and stops when no block helps. This is the
+// model-order selection of the original Walk'n'Merge; without it the
+// caller has to fix the rank externally.
+func selectMDL(ctx context.Context, x *tensor.Tensor, blocks []*Block) ([]*Block, error) {
+	dimI, dimJ, dimK := x.Dims()
+	type cell struct{ i, j, k int }
+	cover := make(map[cell]bool)
+
+	errs := int64(x.NNZ()) // all ones start uncovered
+	modelBits := 0.0
+	curBits := modelBits + mdl.ErrorBits(dimI, dimJ, dimK, errs)
+
+	blockBits := func(b *Block) float64 {
+		return mdl.VectorBits(int64(dimI), int64(b.I.OnesCount())) +
+			mdl.VectorBits(int64(dimJ), int64(b.J.OnesCount())) +
+			mdl.VectorBits(int64(dimK), int64(b.K.OnesCount()))
+	}
+	// newCells counts the block's cells not yet covered, split into ones
+	// and zeros of x.
+	newCells := func(b *Block) (ones, zeros int64) {
+		for _, i := range b.I.Indices() {
+			for _, j := range b.J.Indices() {
+				for _, k := range b.K.Indices() {
+					if cover[cell{i, j, k}] {
+						continue
+					}
+					if x.Get(i, j, k) {
+						ones++
+					} else {
+						zeros++
+					}
+				}
+			}
+		}
+		return ones, zeros
+	}
+
+	remaining := append([]*Block(nil), blocks...)
+	var selected []*Block
+	for len(selected) < 64 && len(remaining) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		bestIdx := -1
+		bestBits := curBits
+		var bestErrs int64
+		for idx, b := range remaining {
+			ones, zeros := newCells(b)
+			newErrs := errs - ones + zeros
+			bits := modelBits + blockBits(b) + mdl.ErrorBits(dimI, dimJ, dimK, newErrs)
+			if bits < bestBits {
+				bestIdx, bestBits, bestErrs = idx, bits, newErrs
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		b := remaining[bestIdx]
+		for _, i := range b.I.Indices() {
+			for _, j := range b.J.Indices() {
+				for _, k := range b.K.Indices() {
+					cover[cell{i, j, k}] = true
+				}
+			}
+		}
+		selected = append(selected, b)
+		modelBits += blockBits(b)
+		errs = bestErrs
+		curBits = bestBits
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return selected, nil
+}

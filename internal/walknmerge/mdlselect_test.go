@@ -1,0 +1,129 @@
+package walknmerge
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"dbtf/internal/bitvec"
+	"dbtf/internal/tensor"
+)
+
+func TestMDLSelectKeepsPlantedBlocksDropsNoise(t *testing.T) {
+	// Two real dense blocks plus scattered noise: MDL selection must keep
+	// exactly the two blocks and reject tiny noise blocks.
+	rng := rand.New(rand.NewSource(1))
+	var coords []tensor.Coord
+	addBlock := func(i0, i1, j0, j1, k0, k1 int) {
+		for i := i0; i < i1; i++ {
+			for j := j0; j < j1; j++ {
+				for k := k0; k < k1; k++ {
+					coords = append(coords, tensor.Coord{I: i, J: j, K: k})
+				}
+			}
+		}
+	}
+	addBlock(0, 6, 0, 6, 0, 6)
+	addBlock(10, 15, 10, 15, 10, 15)
+	for n := 0; n < 20; n++ {
+		coords = append(coords, tensor.Coord{I: rng.Intn(16), J: rng.Intn(16), K: rng.Intn(16)})
+	}
+	x := tensor.MustFromCoords(16, 16, 16, coords)
+
+	res, err := Decompose(context.Background(), x, Options{Seed: 2, MergeThreshold: 0.9, MDLSelect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blocks) < 2 {
+		t.Fatalf("MDL selected %d blocks, want >= 2", len(res.Blocks))
+	}
+	// The two largest selected blocks must be (supersets of) the planted
+	// ones; noise-only blocks must not dominate.
+	if res.Blocks[0].Ones < 125 || res.Blocks[1].Ones < 100 {
+		t.Fatalf("selected block sizes %d, %d too small", res.Blocks[0].Ones, res.Blocks[1].Ones)
+	}
+}
+
+func TestSelectMDLRejectsWastefulBlocks(t *testing.T) {
+	// A block that is mostly zeros must never be selected: covering zeros
+	// adds error bits with no compensating savings.
+	x := tensor.MustFromCoords(10, 10, 10, []tensor.Coord{{I: 0, J: 0, K: 0}})
+	wasteful := &Block{
+		I:    bitvec.FromIndices(10, []int{0, 1, 2, 3, 4}),
+		J:    bitvec.FromIndices(10, []int{0, 1, 2, 3, 4}),
+		K:    bitvec.FromIndices(10, []int{0, 1, 2, 3, 4}),
+		Ones: 1,
+	}
+	selected, err := selectMDL(context.Background(), x, []*Block{wasteful})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(selected) != 0 {
+		t.Fatalf("wasteful block selected")
+	}
+}
+
+func TestSelectMDLAcceptsPerfectBlock(t *testing.T) {
+	var coords []tensor.Coord
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			for k := 0; k < 5; k++ {
+				coords = append(coords, tensor.Coord{I: i, J: j, K: k})
+			}
+		}
+	}
+	x := tensor.MustFromCoords(8, 8, 8, coords)
+	b := &Block{
+		I:    bitvec.FromIndices(8, []int{0, 1, 2, 3, 4}),
+		J:    bitvec.FromIndices(8, []int{0, 1, 2, 3, 4}),
+		K:    bitvec.FromIndices(8, []int{0, 1, 2, 3, 4}),
+		Ones: 125,
+	}
+	selected, err := selectMDL(context.Background(), x, []*Block{b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(selected) != 1 {
+		t.Fatalf("perfect block not selected")
+	}
+}
+
+func TestSelectMDLDeduplicatesOverlap(t *testing.T) {
+	// Two identical candidate blocks: selecting the second saves nothing
+	// (all its cells are covered) but costs model bits, so only one may be
+	// selected.
+	var coords []tensor.Coord
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 4; k++ {
+				coords = append(coords, tensor.Coord{I: i, J: j, K: k})
+			}
+		}
+	}
+	x := tensor.MustFromCoords(6, 6, 6, coords)
+	mk := func() *Block {
+		return &Block{
+			I:    bitvec.FromIndices(6, []int{0, 1, 2, 3}),
+			J:    bitvec.FromIndices(6, []int{0, 1, 2, 3}),
+			K:    bitvec.FromIndices(6, []int{0, 1, 2, 3}),
+			Ones: 64,
+		}
+	}
+	selected, err := selectMDL(context.Background(), x, []*Block{mk(), mk()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(selected) != 1 {
+		t.Fatalf("selected %d copies of the same block", len(selected))
+	}
+}
+
+func TestSelectMDLContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	x := tensor.MustFromCoords(4, 4, 4, []tensor.Coord{{I: 0, J: 0, K: 0}})
+	b := &Block{I: bitvec.FromIndices(4, []int{0}), J: bitvec.FromIndices(4, []int{0}), K: bitvec.FromIndices(4, []int{0}), Ones: 1}
+	if _, err := selectMDL(ctx, x, []*Block{b}); err == nil {
+		t.Fatal("cancelled context not honored")
+	}
+}

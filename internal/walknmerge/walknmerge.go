@@ -1,0 +1,400 @@
+// Package walknmerge implements the Walk'n'Merge algorithm for Boolean
+// tensor factorization (Erdős & Miettinen, "Walk 'n' Merge: A Scalable
+// Algorithm for Boolean Tensor Factorization", ICDM 2013), the second
+// baseline of the DBTF paper.
+//
+// Walk'n'Merge views the tensor's nonzeros as a graph — two nonzeros are
+// adjacent when they differ in exactly one coordinate — and proceeds in
+// two phases:
+//
+//  1. Walk: short random walks over the graph; the distinct per-mode
+//     indices visited by a walk span a candidate sub-tensor, which is kept
+//     when dense enough. Dense blocks are (approximately) rank-1 tensors.
+//  2. Merge: pairs of overlapping blocks are merged whenever the spanned
+//     union block still meets the density threshold t (the paper's
+//     experiments set t = 1 − n_d for destructive noise level n_d).
+//
+// The blocks are finally converted to rank-1 factors ordered by the number
+// of ones they cover. The DBTF paper notes that Walk'n'Merge is parallel
+// but not distributed and that its running time grows rapidly with tensor
+// size; both properties hold for this implementation (the merge phase is
+// quadratic in the number of discovered blocks).
+package walknmerge
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"dbtf/internal/bitvec"
+	"dbtf/internal/boolmat"
+	"dbtf/internal/tensor"
+)
+
+// Options configures a Walk'n'Merge run.
+type Options struct {
+	// Rank bounds the number of blocks converted to rank-1 factors.
+	// Default: as many as found, capped at 64. Walk'n'Merge itself is not
+	// rank-bounded — the paper notes its running time is identical across
+	// ranks — so this only selects the reported factors.
+	Rank int
+	// WalkLength is the length of each random walk. Default 5 (the
+	// paper's setting).
+	WalkLength int
+	// NumWalks is the number of random walks. Default max(|X|, 256).
+	NumWalks int
+	// MergeThreshold is the density threshold t for accepting and merging
+	// blocks. Default 0.8; the paper's experiments use 1 − n_d.
+	MergeThreshold float64
+	// MinBlockDim drops final blocks smaller than this in any mode.
+	// Default 2; the paper uses minimum block size 4×4×4 on its (much
+	// larger) tensors.
+	MinBlockDim int
+	// MaxBlocks caps the number of candidate blocks entering the merge
+	// phase (largest first). Default 512.
+	MaxBlocks int
+	// MDLSelect enables the original algorithm's minimum-description-
+	// length model-order selection: blocks are greedily added while they
+	// reduce the tensor's description length, and the selection order
+	// replaces the covered-ones ordering. Off by default (the DBTF
+	// paper's comparisons fix the rank externally).
+	MDLSelect bool
+	// Seed seeds the random walks.
+	Seed int64
+}
+
+func (o *Options) withDefaults(nnz int) (Options, error) {
+	opt := *o
+	if opt.Rank < 0 || opt.Rank > boolmat.MaxRank {
+		return opt, fmt.Errorf("walknmerge: rank %d outside [0,%d]", opt.Rank, boolmat.MaxRank)
+	}
+	if opt.WalkLength == 0 {
+		opt.WalkLength = 5
+	}
+	if opt.WalkLength < 1 {
+		return opt, fmt.Errorf("walknmerge: WalkLength %d < 1", opt.WalkLength)
+	}
+	if opt.NumWalks == 0 {
+		opt.NumWalks = nnz
+		if opt.NumWalks < 256 {
+			opt.NumWalks = 256
+		}
+	}
+	if opt.NumWalks < 1 {
+		return opt, fmt.Errorf("walknmerge: NumWalks %d < 1", opt.NumWalks)
+	}
+	if opt.MergeThreshold == 0 {
+		opt.MergeThreshold = 0.8
+	}
+	if opt.MergeThreshold <= 0 || opt.MergeThreshold > 1 {
+		return opt, fmt.Errorf("walknmerge: MergeThreshold %v outside (0,1]", opt.MergeThreshold)
+	}
+	if opt.MinBlockDim == 0 {
+		opt.MinBlockDim = 2
+	}
+	if opt.MinBlockDim < 1 {
+		return opt, fmt.Errorf("walknmerge: MinBlockDim %d < 1", opt.MinBlockDim)
+	}
+	if opt.MaxBlocks == 0 {
+		opt.MaxBlocks = 512
+	}
+	if opt.MaxBlocks < 1 {
+		return opt, fmt.Errorf("walknmerge: MaxBlocks %d < 1", opt.MaxBlocks)
+	}
+	return opt, nil
+}
+
+// Block is a dense sub-tensor spanned by per-mode index sets.
+type Block struct {
+	// I, J, K are the per-mode index sets, as bit vectors over the tensor
+	// dimensions.
+	I, J, K *bitvec.BitVec
+	// Ones is the number of tensor nonzeros inside the block.
+	Ones int
+}
+
+// Volume returns the number of cells the block spans.
+func (b *Block) Volume() int { return b.I.OnesCount() * b.J.OnesCount() * b.K.OnesCount() }
+
+// Density returns Ones / Volume.
+func (b *Block) Density() float64 {
+	v := b.Volume()
+	if v == 0 {
+		return 0
+	}
+	return float64(b.Ones) / float64(v)
+}
+
+func (b *Block) minDim() int {
+	m := b.I.OnesCount()
+	if j := b.J.OnesCount(); j < m {
+		m = j
+	}
+	if k := b.K.OnesCount(); k < m {
+		m = k
+	}
+	return m
+}
+
+// Result reports a Walk'n'Merge factorization.
+type Result struct {
+	// Blocks are the merged dense blocks, largest cover first.
+	Blocks []*Block
+	// A, B, C are rank-1 factors built from the top blocks.
+	A, B, C *boolmat.FactorMatrix
+	// Error is |X ⊕ X̂| for the returned factors.
+	Error int64
+	// WallTime is the elapsed time of the run.
+	WallTime time.Duration
+}
+
+// Decompose runs Walk'n'Merge on x.
+func Decompose(ctx context.Context, x *tensor.Tensor, opts Options) (*Result, error) {
+	if x == nil {
+		return nil, fmt.Errorf("walknmerge: nil tensor")
+	}
+	dimI, dimJ, dimK := x.Dims()
+	if dimI == 0 || dimJ == 0 || dimK == 0 {
+		return nil, fmt.Errorf("walknmerge: empty tensor %dx%dx%d", dimI, dimJ, dimK)
+	}
+	opt, err := opts.withDefaults(x.NNZ())
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	g := buildGraph(x)
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	blocks, err := walkPhase(ctx, x, g, rng, opt)
+	if err != nil {
+		return nil, err
+	}
+	blocks, err = mergePhase(ctx, x, blocks, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Drop undersized blocks; keep them only if nothing else survives.
+	var sized []*Block
+	for _, b := range blocks {
+		if b.minDim() >= opt.MinBlockDim {
+			sized = append(sized, b)
+		}
+	}
+	if len(sized) > 0 {
+		blocks = sized
+	}
+	sort.Slice(blocks, func(a, b int) bool { return blocks[a].Ones > blocks[b].Ones })
+	if opt.MDLSelect {
+		blocks, err = selectMDL(ctx, x, blocks)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	r := opt.Rank
+	if r == 0 || r > len(blocks) {
+		r = len(blocks)
+	}
+	if r > boolmat.MaxRank {
+		r = boolmat.MaxRank
+	}
+	res := &Result{Blocks: blocks}
+	res.A, res.B, res.C = factorsFromBlocks(blocks[:r], dimI, dimJ, dimK)
+	res.Error = tensor.ReconstructError(x, res.A, res.B, res.C)
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+// graph holds, for every fiber, the nonzero coordinates it contains: the
+// adjacency structure of the nonzero graph (two nonzeros are adjacent when
+// they share a fiber).
+type graph struct {
+	coords []tensor.Coord
+	byJK   map[[2]int][]int32 // (j,k) → indices into coords
+	byIK   map[[2]int][]int32
+	byIJ   map[[2]int][]int32
+}
+
+func buildGraph(x *tensor.Tensor) *graph {
+	g := &graph{
+		coords: x.Coords(),
+		byJK:   make(map[[2]int][]int32),
+		byIK:   make(map[[2]int][]int32),
+		byIJ:   make(map[[2]int][]int32),
+	}
+	for idx, c := range g.coords {
+		g.byJK[[2]int{c.J, c.K}] = append(g.byJK[[2]int{c.J, c.K}], int32(idx))
+		g.byIK[[2]int{c.I, c.K}] = append(g.byIK[[2]int{c.I, c.K}], int32(idx))
+		g.byIJ[[2]int{c.I, c.J}] = append(g.byIJ[[2]int{c.I, c.J}], int32(idx))
+	}
+	return g
+}
+
+// step moves from coordinate index cur to a random neighbour (a nonzero in
+// one of cur's three fibers). Returns cur when the node is isolated.
+func (g *graph) step(rng *rand.Rand, cur int32) int32 {
+	c := g.coords[cur]
+	for _, mode := range rng.Perm(3) {
+		var fiber []int32
+		switch mode {
+		case 0:
+			fiber = g.byJK[[2]int{c.J, c.K}]
+		case 1:
+			fiber = g.byIK[[2]int{c.I, c.K}]
+		default:
+			fiber = g.byIJ[[2]int{c.I, c.J}]
+		}
+		if len(fiber) > 1 {
+			next := fiber[rng.Intn(len(fiber))]
+			if next != cur {
+				return next
+			}
+			return fiber[rng.Intn(len(fiber))]
+		}
+	}
+	return cur
+}
+
+// walkPhase runs random walks and keeps the spanned candidate blocks that
+// meet the density threshold.
+func walkPhase(ctx context.Context, x *tensor.Tensor, g *graph, rng *rand.Rand, opt Options) ([]*Block, error) {
+	dimI, dimJ, dimK := x.Dims()
+	if len(g.coords) == 0 {
+		return nil, nil
+	}
+	seen := map[string]bool{}
+	var blocks []*Block
+	for w := 0; w < opt.NumWalks; w++ {
+		if w%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		cur := int32(rng.Intn(len(g.coords)))
+		bi := bitvec.New(dimI)
+		bj := bitvec.New(dimJ)
+		bk := bitvec.New(dimK)
+		visit := func(idx int32) {
+			c := g.coords[idx]
+			bi.Set(c.I)
+			bj.Set(c.J)
+			bk.Set(c.K)
+		}
+		visit(cur)
+		for s := 0; s < opt.WalkLength; s++ {
+			cur = g.step(rng, cur)
+			visit(cur)
+		}
+		b := &Block{I: bi, J: bj, K: bk}
+		b.Ones = countOnes(x, b)
+		if b.Density() < opt.MergeThreshold {
+			continue
+		}
+		key := bi.String() + "|" + bj.String() + "|" + bk.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(a, b int) bool { return blocks[a].Ones > blocks[b].Ones })
+	if len(blocks) > opt.MaxBlocks {
+		blocks = blocks[:opt.MaxBlocks]
+	}
+	return blocks, nil
+}
+
+// mergePhase repeatedly merges overlapping block pairs whose spanned union
+// still meets the density threshold, until a fixpoint.
+func mergePhase(ctx context.Context, x *tensor.Tensor, blocks []*Block, opt Options) ([]*Block, error) {
+	for changed := true; changed; {
+		changed = false
+		for a := 0; a < len(blocks); a++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			for b := a + 1; b < len(blocks); b++ {
+				if !overlap(blocks[a], blocks[b]) {
+					continue
+				}
+				m := union(blocks[a], blocks[b])
+				m.Ones = countOnes(x, m)
+				if m.Density() >= opt.MergeThreshold {
+					blocks[a] = m
+					blocks = append(blocks[:b], blocks[b+1:]...)
+					changed = true
+					b--
+				}
+			}
+		}
+	}
+	return blocks, nil
+}
+
+// overlap reports whether two blocks share at least one index in at least
+// two modes — the merge-candidate prefilter.
+func overlap(a, b *Block) bool {
+	shared := 0
+	if a.I.AndCount(b.I) > 0 {
+		shared++
+	}
+	if a.J.AndCount(b.J) > 0 {
+		shared++
+	}
+	if a.K.AndCount(b.K) > 0 {
+		shared++
+	}
+	return shared >= 2
+}
+
+func union(a, b *Block) *Block {
+	i := a.I.Copy()
+	i.Or(b.I)
+	j := a.J.Copy()
+	j.Or(b.J)
+	k := a.K.Copy()
+	k.Or(b.K)
+	return &Block{I: i, J: j, K: k}
+}
+
+// countOnes counts the tensor nonzeros inside a block, iterating whichever
+// of (block cells, tensor nonzeros) is smaller.
+func countOnes(x *tensor.Tensor, b *Block) int {
+	if b.Volume() <= 2*x.NNZ() {
+		n := 0
+		for _, i := range b.I.Indices() {
+			for _, j := range b.J.Indices() {
+				for _, k := range b.K.Indices() {
+					if x.Get(i, j, k) {
+						n++
+					}
+				}
+			}
+		}
+		return n
+	}
+	n := 0
+	for _, c := range x.Coords() {
+		if b.I.Get(c.I) && b.J.Get(c.J) && b.K.Get(c.K) {
+			n++
+		}
+	}
+	return n
+}
+
+func factorsFromBlocks(blocks []*Block, dimI, dimJ, dimK int) (a, b, c *boolmat.FactorMatrix) {
+	r := len(blocks)
+	a = boolmat.NewFactor(dimI, r)
+	b = boolmat.NewFactor(dimJ, r)
+	c = boolmat.NewFactor(dimK, r)
+	for q, blk := range blocks {
+		blk.I.Range(func(i int) { a.Set(i, q, true) })
+		blk.J.Range(func(j int) { b.Set(j, q, true) })
+		blk.K.Range(func(k int) { c.Set(k, q, true) })
+	}
+	return a, b, c
+}

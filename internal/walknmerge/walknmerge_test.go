@@ -1,0 +1,203 @@
+package walknmerge
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dbtf/internal/bitvec"
+	"dbtf/internal/tensor"
+)
+
+func ctxb() context.Context { return context.Background() }
+
+func blockTensor(specs [][6]int, dims [3]int) *tensor.Tensor {
+	var coords []tensor.Coord
+	for _, s := range specs {
+		for i := s[0]; i < s[1]; i++ {
+			for j := s[2]; j < s[3]; j++ {
+				for k := s[4]; k < s[5]; k++ {
+					coords = append(coords, tensor.Coord{I: i, J: j, K: k})
+				}
+			}
+		}
+	}
+	return tensor.MustFromCoords(dims[0], dims[1], dims[2], coords)
+}
+
+func TestValidation(t *testing.T) {
+	x := blockTensor([][6]int{{0, 2, 0, 2, 0, 2}}, [3]int{4, 4, 4})
+	cases := []Options{
+		{Rank: -1},
+		{Rank: 65},
+		{WalkLength: -1},
+		{NumWalks: -1},
+		{MergeThreshold: 1.5},
+		{MergeThreshold: -0.1},
+		{MinBlockDim: -1},
+		{MaxBlocks: -1},
+	}
+	for i, opt := range cases {
+		if _, err := Decompose(ctxb(), x, opt); err == nil {
+			t.Errorf("case %d: no error", i)
+		}
+	}
+	if _, err := Decompose(ctxb(), nil, Options{}); err == nil {
+		t.Error("nil tensor accepted")
+	}
+	if _, err := Decompose(ctxb(), tensor.New(0, 2, 2), Options{}); err == nil {
+		t.Error("empty tensor accepted")
+	}
+}
+
+func TestRecoversSingleDenseBlock(t *testing.T) {
+	x := blockTensor([][6]int{{2, 8, 3, 9, 1, 7}}, [3]int{12, 12, 12})
+	res, err := Decompose(ctxb(), x, Options{Seed: 1, MergeThreshold: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Error != 0 {
+		t.Fatalf("single dense block not recovered exactly: error %d (blocks %d)", res.Error, len(res.Blocks))
+	}
+}
+
+func TestRecoversTwoDisjointBlocks(t *testing.T) {
+	x := blockTensor([][6]int{
+		{0, 5, 0, 5, 0, 5},
+		{7, 12, 7, 12, 7, 12},
+	}, [3]int{12, 12, 12})
+	res, err := Decompose(ctxb(), x, Options{Seed: 2, MergeThreshold: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Error != 0 {
+		t.Fatalf("two blocks not recovered: error %d", res.Error)
+	}
+	if len(res.Blocks) < 2 {
+		t.Fatalf("found %d blocks, want >= 2", len(res.Blocks))
+	}
+}
+
+func TestMergeGrowsBlocks(t *testing.T) {
+	// One large dense block: short walks only span fragments of it, so
+	// exact recovery requires the merge phase to reassemble them.
+	x := blockTensor([][6]int{{0, 10, 0, 10, 0, 10}}, [3]int{16, 16, 16})
+	res, err := Decompose(ctxb(), x, Options{Seed: 3, MergeThreshold: 0.95, WalkLength: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blocks) == 0 {
+		t.Fatal("no blocks found")
+	}
+	best := res.Blocks[0]
+	if best.Ones != 1000 {
+		t.Fatalf("largest block covers %d ones, want 1000 (merge failed)", best.Ones)
+	}
+}
+
+func TestRankBoundsFactors(t *testing.T) {
+	x := blockTensor([][6]int{
+		{0, 4, 0, 4, 0, 4},
+		{5, 9, 5, 9, 5, 9},
+		{10, 14, 10, 14, 10, 14},
+	}, [3]int{14, 14, 14})
+	res, err := Decompose(ctxb(), x, Options{Rank: 2, Seed: 4, MergeThreshold: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.A.Rank() != 2 {
+		t.Fatalf("factor rank %d, want 2", res.A.Rank())
+	}
+	// The two largest blocks cover 2/3 of the ones; error must reflect the
+	// third, uncovered block.
+	if res.Error != 64 {
+		t.Fatalf("error %d, want 64 (one uncovered 4x4x4 block)", res.Error)
+	}
+}
+
+func TestNoisyBlockStillFound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var coords []tensor.Coord
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			for k := 0; k < 8; k++ {
+				if rng.Float64() < 0.9 { // 10% destructive noise
+					coords = append(coords, tensor.Coord{I: i, J: j, K: k})
+				}
+			}
+		}
+	}
+	x := tensor.MustFromCoords(16, 16, 16, coords)
+	res, err := Decompose(ctxb(), x, Options{Seed: 6, MergeThreshold: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blocks) == 0 {
+		t.Fatal("no blocks found in noisy tensor")
+	}
+	if got := res.Blocks[0].Ones; got < 300 {
+		t.Fatalf("largest block covers only %d ones", got)
+	}
+}
+
+func TestErrorMatchesReconstruction(t *testing.T) {
+	x := blockTensor([][6]int{{0, 6, 0, 6, 0, 6}, {8, 11, 8, 11, 8, 11}}, [3]int{12, 12, 12})
+	res, err := Decompose(ctxb(), x, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := tensor.ReconstructError(x, res.A, res.B, res.C); res.Error != want {
+		t.Fatalf("reported error %d != recomputed %d", res.Error, want)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	x := blockTensor([][6]int{{0, 8, 0, 8, 0, 8}}, [3]int{10, 10, 10})
+	if _, err := Decompose(ctx, x, Options{Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestEmptyTensorNoBlocks(t *testing.T) {
+	x := tensor.New(8, 8, 8)
+	res, err := Decompose(ctxb(), x, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blocks) != 0 || res.Error != 0 {
+		t.Fatalf("blocks %d error %d on empty tensor", len(res.Blocks), res.Error)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	x := blockTensor([][6]int{{0, 5, 0, 5, 0, 5}, {6, 10, 6, 10, 6, 10}}, [3]int{10, 10, 10})
+	r1, err := Decompose(ctxb(), x, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Decompose(ctxb(), x, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Error != r2.Error || len(r1.Blocks) != len(r2.Blocks) {
+		t.Fatal("results differ for the same seed")
+	}
+}
+
+func TestBlockDensityAndVolume(t *testing.T) {
+	b := &Block{
+		I:    bitvec.FromIndices(4, []int{0, 1}),
+		J:    bitvec.FromIndices(4, []int{0, 1, 2}),
+		K:    bitvec.FromIndices(4, []int{3}),
+		Ones: 3,
+	}
+	if b.Volume() != 6 {
+		t.Fatalf("Volume = %d, want 6", b.Volume())
+	}
+	if b.Density() != 0.5 {
+		t.Fatalf("Density = %v, want 0.5", b.Density())
+	}
+}

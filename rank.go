@@ -1,0 +1,74 @@
+package dbtf
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"dbtf/internal/mdl"
+)
+
+// DescriptionLength returns the minimum-description-length score of a
+// factor set for x, in bits: the cost of encoding the factors plus the
+// cost of the error cells correcting their reconstruction. Lower is
+// better; compare against BaselineDescriptionLength to decide whether the
+// factorization is worth keeping at all.
+func DescriptionLength(x *Tensor, f Factors) float64 {
+	return mdl.TotalBits(x, f.A, f.B, f.C)
+}
+
+// BaselineDescriptionLength returns the description length of x under the
+// empty model (every nonzero transmitted as an error cell).
+func BaselineDescriptionLength(x *Tensor) float64 {
+	return mdl.BaselineBits(x)
+}
+
+// RankSelection reports the outcome of SelectRank.
+type RankSelection struct {
+	// Rank is the selected rank.
+	Rank int
+	// Result is the factorization at the selected rank.
+	Result *Result
+	// Bits maps each tried rank (index r-1 for rank r) to its description
+	// length.
+	Bits []float64
+	// BaselineBits is the empty-model description length; when every
+	// tried rank exceeds it the data has no exploitable Boolean structure.
+	BaselineBits float64
+}
+
+// SelectRank chooses a decomposition rank by minimum description length:
+// it factorizes x at every rank from 1 to maxRank (with the given options
+// otherwise unchanged) and returns the rank whose factorization
+// compresses the tensor best. The search stops early after the score
+// worsens on two consecutive ranks. opt.Rank is ignored.
+func SelectRank(ctx context.Context, x *Tensor, opt Options, maxRank int) (*RankSelection, error) {
+	if maxRank < 1 || maxRank > MaxRank {
+		return nil, fmt.Errorf("dbtf: maxRank %d outside [1,%d]", maxRank, MaxRank)
+	}
+	sel := &RankSelection{BaselineBits: mdl.BaselineBits(x)}
+	best := math.Inf(1)
+	worse := 0
+	for r := 1; r <= maxRank; r++ {
+		o := opt
+		o.Rank = r
+		res, err := Factorize(ctx, x, o)
+		if err != nil {
+			return nil, fmt.Errorf("dbtf: rank %d: %w", r, err)
+		}
+		bits := DescriptionLength(x, res.Factors)
+		sel.Bits = append(sel.Bits, bits)
+		if bits < best {
+			best = bits
+			sel.Rank = r
+			sel.Result = res
+			worse = 0
+		} else {
+			worse++
+			if worse >= 2 {
+				break
+			}
+		}
+	}
+	return sel, nil
+}

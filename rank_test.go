@@ -1,0 +1,100 @@
+package dbtf_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"dbtf"
+)
+
+func TestSelectRankFindsPlantedRank(t *testing.T) {
+	// Three well-separated planted blocks: MDL must prefer a rank near 3
+	// over both underfitting (1) and overfitting (8).
+	var coords []dbtf.Coord
+	blocks := [][6]int{{0, 8, 0, 8, 0, 8}, {10, 17, 10, 17, 10, 17}, {20, 26, 20, 26, 20, 26}}
+	for _, b := range blocks {
+		for i := b[0]; i < b[1]; i++ {
+			for j := b[2]; j < b[3]; j++ {
+				for k := b[4]; k < b[5]; k++ {
+					coords = append(coords, dbtf.Coord{I: i, J: j, K: k})
+				}
+			}
+		}
+	}
+	x, err := dbtf.TensorFromCoords(28, 28, 28, coords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := dbtf.SelectRank(context.Background(), x, dbtf.Options{
+		Machines: 2, InitialSets: 4, Seed: 1,
+	}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Rank != 3 {
+		t.Fatalf("selected rank %d, want 3 (bits: %v)", sel.Rank, sel.Bits)
+	}
+	if sel.Result == nil || sel.Result.Error != 0 {
+		t.Fatalf("selected factorization not exact: %+v", sel.Result)
+	}
+	if sel.Bits[sel.Rank-1] >= sel.BaselineBits {
+		t.Fatal("selected model does not beat the baseline")
+	}
+}
+
+func TestSelectRankValidation(t *testing.T) {
+	x := dbtf.NewTensor(4, 4, 4)
+	if _, err := dbtf.SelectRank(context.Background(), x, dbtf.Options{}, 0); err == nil {
+		t.Fatal("maxRank 0 accepted")
+	}
+	if _, err := dbtf.SelectRank(context.Background(), x, dbtf.Options{}, dbtf.MaxRank+1); err == nil {
+		t.Fatal("maxRank > MaxRank accepted")
+	}
+}
+
+func TestSelectRankStopsEarly(t *testing.T) {
+	// A single block: rank 1 is optimal; the search must not try all 16
+	// ranks (it stops after two consecutive non-improvements).
+	var coords []dbtf.Coord
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			for k := 0; k < 6; k++ {
+				coords = append(coords, dbtf.Coord{I: i, J: j, K: k})
+			}
+		}
+	}
+	x, err := dbtf.TensorFromCoords(10, 10, 10, coords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := dbtf.SelectRank(context.Background(), x, dbtf.Options{Machines: 2, InitialSets: 2, Seed: 1}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Rank != 1 {
+		t.Fatalf("selected rank %d, want 1", sel.Rank)
+	}
+	if len(sel.Bits) >= 16 {
+		t.Fatalf("search tried %d ranks without stopping early", len(sel.Bits))
+	}
+}
+
+func TestDescriptionLengthOrdersModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, planted := dbtf.TensorFromRandomFactors(rng, 20, 20, 20, 2, 0.3)
+	zero := dbtf.Factors{
+		A: planted.A.Clone(), B: planted.B.Clone(), C: planted.C.Clone(),
+	}
+	for i := 0; i < 20; i++ {
+		zero.A.SetRowMask(i, 0)
+	}
+	good := dbtf.DescriptionLength(x, planted)
+	bad := dbtf.DescriptionLength(x, zero)
+	if good >= bad {
+		t.Fatalf("exact factors cost %v bits >= broken factors %v", good, bad)
+	}
+	if dbtf.BaselineDescriptionLength(x) <= good {
+		t.Fatal("baseline cheaper than exact structured model")
+	}
+}
