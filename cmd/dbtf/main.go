@@ -40,6 +40,10 @@ func run(args []string) error {
 		sets       = fs.Int("sets", 1, "initial factor sets L (dbtf)")
 		groupBits  = fs.Int("groupbits", 15, "cache group bits V (dbtf)")
 		seed       = fs.Int64("seed", 1, "random seed")
+		chaos      = fs.Float64("chaos", 0, "inject task failures at this rate into the simulated cluster (dbtf; panics at 1/4 and stragglers at 1/2 of the rate are injected too)")
+		chaosSeed  = fs.Int64("chaos-seed", 0, "seed of the fault-injection schedule (0 = -seed)")
+		maxRetries = fs.Int("max-retries", 0, "per-task retry bound for transient failures (0 = default 3)")
+		failFast   = fs.Bool("failfast", false, "abort on the first task failure instead of retrying")
 		autoRank   = fs.Int("auto-rank", 0, "select the rank by MDL up to this maximum (overrides -rank; dbtf method only)")
 		mdlSelect  = fs.Bool("mdl", false, "use MDL model-order selection (walknmerge method only)")
 		budget     = fs.Duration("budget", 0, "abort after this duration (0 = unlimited)")
@@ -97,6 +101,25 @@ func run(args []string) error {
 				sel.Rank, *autoRank, sel.Bits[sel.Rank-1], sel.BaselineBits)
 			break
 		}
+		if *maxRetries < 0 {
+			return fmt.Errorf("-max-retries %d must be >= 0", *maxRetries)
+		}
+		var faults *dbtf.FaultPlan
+		if *chaos > 0 {
+			if *chaos > 0.5 {
+				return fmt.Errorf("-chaos %v outside (0, 0.5]", *chaos)
+			}
+			fseed := *chaosSeed
+			if fseed == 0 {
+				fseed = *seed
+			}
+			faults = &dbtf.FaultPlan{
+				Seed:          fseed,
+				FailureRate:   *chaos,
+				PanicRate:     *chaos / 4,
+				StragglerRate: *chaos / 2,
+			}
+		}
 		res, err := dbtf.Factorize(ctx, x, dbtf.Options{
 			Rank:           *rank,
 			MaxIter:        *maxIter,
@@ -105,6 +128,9 @@ func run(args []string) error {
 			Partitions:     *partitions,
 			CacheGroupBits: *groupBits,
 			Seed:           *seed,
+			MaxRetries:     *maxRetries,
+			FailFast:       *failFast,
+			Faults:         faults,
 			Trace:          trace,
 		})
 		if err != nil {
@@ -115,6 +141,10 @@ func run(args []string) error {
 		fmt.Printf("cluster: simulated %v on %d machines; shuffled %d B, broadcast %d B, collected %d B\n",
 			res.SimTime.Round(time.Millisecond), *machines,
 			res.Stats.ShuffledBytes, res.Stats.BroadcastBytes, res.Stats.CollectedBytes)
+		if faults != nil {
+			fmt.Printf("chaos: %d injected faults, %d retries, %d speculative wins\n",
+				res.Stats.InjectedFaults, res.Stats.Retries, res.Stats.SpeculativeWins)
+		}
 	case "bcpals":
 		res, err := dbtf.FactorizeBCPALS(ctx, x, dbtf.BCPALSOptions{Rank: *rank, MaxIter: *maxIter})
 		if err != nil {

@@ -83,6 +83,20 @@ func TestRunBudgetExceeded(t *testing.T) {
 	}
 }
 
+func TestRunChaos(t *testing.T) {
+	path := writeTensor(t)
+	if err := run([]string{"-input", path, "-rank", "2", "-machines", "2", "-chaos", "0.2", "-max-retries", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunChaosRateValidated(t *testing.T) {
+	path := writeTensor(t)
+	if err := run([]string{"-input", path, "-rank", "2", "-chaos", "0.9"}); err == nil {
+		t.Fatal("chaos rate 0.9 accepted")
+	}
+}
+
 func TestRunVerbose(t *testing.T) {
 	path := writeTensor(t)
 	if err := run([]string{"-input", path, "-rank", "2", "-v"}); err != nil {

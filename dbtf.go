@@ -77,6 +77,19 @@ type Options struct {
 	InitDensity float64
 	// Seed makes runs deterministic.
 	Seed int64
+	// MaxRetries bounds the re-execution attempts per failed cluster
+	// task; task errors and panics are treated as transient machine
+	// failures and retried with exponential simulated backoff. Default 3
+	// (Spark's 4 attempts per task). Ignored under FailFast.
+	MaxRetries int
+	// FailFast disables task retries: the first task failure aborts the
+	// run, the engine's pre-fault-tolerance semantics.
+	FailFast bool
+	// Faults, when non-nil, injects deterministic task failures, panics,
+	// and straggler delays into the simulated cluster; see FaultPlan.
+	// With retries enabled injected faults never change the result, only
+	// the simulated makespan and the Stats fault counters.
+	Faults *FaultPlan
 	// NoCache disables row-summation caching (for ablations only).
 	NoCache bool
 	// Horizontal switches to horizontal (rank) partitioning (for ablations
@@ -124,6 +137,10 @@ type Result struct {
 	// InitialErrors holds the error of each initial set after the first
 	// iteration.
 	InitialErrors []int64
+	// IterationErrors holds the reconstruction error after every
+	// iteration; the greedy column commits make it monotonically
+	// non-increasing.
+	IterationErrors []int64
 	// Stats reports the simulated cluster's traffic counters: shuffled,
 	// broadcast, and collected bytes.
 	Stats ClusterStats
@@ -141,7 +158,12 @@ func Factorize(ctx context.Context, x *Tensor, opt Options) (*Result, error) {
 	if machines == 0 {
 		machines = runtime.GOMAXPROCS(0)
 	}
-	cl := cluster.New(cluster.Config{Machines: machines})
+	cl := cluster.New(cluster.Config{
+		Machines:   machines,
+		MaxRetries: opt.MaxRetries,
+		FailFast:   opt.FailFast,
+		Faults:     opt.Faults,
+	})
 	res, err := core.Decompose(ctx, x, cl, core.Options{
 		Rank:        opt.Rank,
 		MaxIter:     opt.MaxIter,
@@ -161,14 +183,15 @@ func Factorize(ctx context.Context, x *Tensor, opt Options) (*Result, error) {
 		return nil, err
 	}
 	out := &Result{
-		Factors:       Factors{A: res.A, B: res.B, C: res.C},
-		Error:         res.Error,
-		Iterations:    res.Iterations,
-		Converged:     res.Converged,
-		InitialErrors: res.InitialErrors,
-		Stats:         res.Stats,
-		SimTime:       res.SimTime,
-		WallTime:      res.WallTime,
+		Factors:         Factors{A: res.A, B: res.B, C: res.C},
+		Error:           res.Error,
+		Iterations:      res.Iterations,
+		Converged:       res.Converged,
+		InitialErrors:   res.InitialErrors,
+		IterationErrors: res.IterationErrors,
+		Stats:           res.Stats,
+		SimTime:         res.SimTime,
+		WallTime:        res.WallTime,
 	}
 	if x.NNZ() > 0 {
 		out.RelativeError = float64(res.Error) / float64(x.NNZ())

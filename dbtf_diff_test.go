@@ -1,0 +1,91 @@
+package dbtf_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"dbtf"
+)
+
+// The paper's Section III-C (row-summation caching) and Section III-D
+// (vertical vs horizontal partitioning) describe pure optimizations: they
+// change where and how Boolean row summations are computed, never their
+// values. With identical seeds the ablation paths must therefore produce
+// bit-for-bit identical factor matrices and errors. These differential
+// tests pin that equivalence.
+
+func diffTensor(t *testing.T, seed int64) *dbtf.Tensor {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	truth, _ := dbtf.TensorFromRandomFactors(rng, 20, 16, 18, 3, 0.3)
+	return dbtf.AddNoise(rng, truth, 0.1, 0.1)
+}
+
+func assertIdentical(t *testing.T, seed int64, label string, a, b *dbtf.Result) {
+	t.Helper()
+	if a.Error != b.Error {
+		t.Errorf("seed %d: %s error %d != baseline %d", seed, label, b.Error, a.Error)
+	}
+	if !a.A.Equal(b.A) || !a.B.Equal(b.B) || !a.C.Equal(b.C) {
+		t.Errorf("seed %d: %s factors differ from baseline", seed, label)
+	}
+	if a.Iterations != b.Iterations {
+		t.Errorf("seed %d: %s ran %d iterations, baseline %d", seed, label, b.Iterations, a.Iterations)
+	}
+}
+
+func TestDiffCacheAblationIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		x := diffTensor(t, seed)
+		opt := dbtf.Options{Rank: 4, Machines: 2, MaxIter: 5, Seed: seed}
+		cached, err := dbtf.Factorize(context.Background(), x, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.NoCache = true
+		uncached, err := dbtf.Factorize(context.Background(), x, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdentical(t, seed, "NoCache", cached, uncached)
+	}
+}
+
+func TestDiffPartitioningAblationIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		x := diffTensor(t, seed)
+		opt := dbtf.Options{Rank: 4, Machines: 2, MaxIter: 5, Seed: seed}
+		vertical, err := dbtf.Factorize(context.Background(), x, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Horizontal = true
+		horizontal, err := dbtf.Factorize(context.Background(), x, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdentical(t, seed, "Horizontal", vertical, horizontal)
+	}
+}
+
+// TestDiffPartitionCountInvariant: the number of vertical partitions is a
+// placement decision, not an algorithmic one — results must not depend on
+// it.
+func TestDiffPartitionCountInvariant(t *testing.T) {
+	x := diffTensor(t, 1)
+	var baseline *dbtf.Result
+	for _, parts := range []int{1, 2, 5} {
+		res, err := dbtf.Factorize(context.Background(), x, dbtf.Options{
+			Rank: 4, Machines: 2, Partitions: parts, MaxIter: 5, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if baseline == nil {
+			baseline = res
+			continue
+		}
+		assertIdentical(t, 1, "partition count", baseline, res)
+	}
+}

@@ -1,0 +1,81 @@
+package dbtf_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"dbtf"
+)
+
+// TestPropErrorMatchesReconstruction is the package's core correctness
+// property: across random small tensors and seeds, the error reported by
+// the distributed decomposition equals |X ⊕ reconstruct(A,B,C)| recomputed
+// independently from the returned factors, and the per-iteration error
+// trace is monotonically non-increasing (the greedy column commits never
+// make the fit worse).
+func TestPropErrorMatchesReconstruction(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		seed := seed
+		rng := rand.New(rand.NewSource(seed))
+		dims := func() int { return 4 + rng.Intn(13) } // 4..16
+		i, j, k := dims(), dims(), dims()
+		density := 0.05 + rng.Float64()*0.3
+		rank := 1 + rng.Intn(4)
+		x := dbtf.RandomTensor(rng, i, j, k, density)
+		if x.NNZ() == 0 {
+			continue
+		}
+		res, err := dbtf.Factorize(context.Background(), x, dbtf.Options{
+			Rank: rank, Machines: 2, MaxIter: 6, Seed: seed,
+		})
+		if err != nil {
+			t.Fatalf("seed %d (%dx%dx%d rank %d): %v", seed, i, j, k, rank, err)
+		}
+
+		// Independent recomputation: materialize the Boolean reconstruction
+		// and count differing cells, bypassing the partitioned error path.
+		recomputed := int64(x.XorCount(res.Reconstruct()))
+		if res.Error != recomputed {
+			t.Errorf("seed %d (%dx%dx%d rank %d): reported error %d, recomputed %d",
+				seed, i, j, k, rank, res.Error, recomputed)
+		}
+
+		if len(res.IterationErrors) != res.Iterations {
+			t.Errorf("seed %d: %d iteration errors for %d iterations",
+				seed, len(res.IterationErrors), res.Iterations)
+		}
+		for it := 1; it < len(res.IterationErrors); it++ {
+			if res.IterationErrors[it] > res.IterationErrors[it-1] {
+				t.Errorf("seed %d: error increased at iteration %d: %v",
+					seed, it+1, res.IterationErrors)
+			}
+		}
+		if last := res.IterationErrors[len(res.IterationErrors)-1]; last != res.Error {
+			t.Errorf("seed %d: final iteration error %d != reported error %d",
+				seed, last, res.Error)
+		}
+	}
+}
+
+// TestPropRelativeErrorBounded: the greedy update can always fall back to
+// the all-zero column, so the fit never gets worse than the empty
+// factorization (relative error 1.0).
+func TestPropRelativeErrorBounded(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		x := dbtf.RandomTensor(rng, 12, 10, 14, 0.1)
+		if x.NNZ() == 0 {
+			continue
+		}
+		res, err := dbtf.Factorize(context.Background(), x, dbtf.Options{
+			Rank: 3, Machines: 2, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RelativeError > 1.0 {
+			t.Errorf("seed %d: relative error %v > 1.0", seed, res.RelativeError)
+		}
+	}
+}

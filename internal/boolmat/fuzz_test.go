@@ -1,0 +1,41 @@
+package boolmat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadFactor fuzzes the factor-matrix text parser: arbitrary input
+// must either parse into a well-formed matrix that round-trips through
+// WriteTo bit-for-bit, or fail with an error — never panic or allocate
+// according to an unvalidated header.
+func FuzzReadFactor(f *testing.F) {
+	f.Add([]byte("2 3\n101\n010\n"))
+	f.Add([]byte("0 0\n"))
+	f.Add([]byte("1 64\n" + strings.Repeat("1", 64) + "\n"))
+	f.Add([]byte("999999999 2\n10\n"))
+	f.Add([]byte("2 -1\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("a b\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadFactorFrom(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if m.Rank() < 0 || m.Rank() > MaxRank || m.Rows() < 0 {
+			t.Fatalf("parsed matrix has invalid shape %dx%d", m.Rows(), m.Rank())
+		}
+		var buf bytes.Buffer
+		if _, err := m.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo of parsed matrix: %v", err)
+		}
+		back, err := ReadFactorFrom(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse of written matrix: %v", err)
+		}
+		if !m.Equal(back) {
+			t.Fatalf("round trip changed the matrix:\n%v\nvs\n%v", m, back)
+		}
+	})
+}

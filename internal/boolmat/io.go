@@ -55,7 +55,11 @@ func ReadFactorFrom(r io.Reader) (*FactorMatrix, error) {
 	if rows < 0 || rank < 0 || rank > MaxRank {
 		return nil, fmt.Errorf("boolmat: invalid factor shape %dx%d", rows, rank)
 	}
-	m := NewFactor(rows, rank)
+	// Grow by appending rather than trusting the header's row count, so a
+	// corrupt or hostile header cannot force a huge allocation before a
+	// single row is read.
+	const initialRowCap = 1 << 12
+	masks := make([]uint64, 0, min(rows, initialRowCap))
 	for i := 0; i < rows; i++ {
 		if !sc.Scan() {
 			if err := sc.Err(); err != nil {
@@ -77,9 +81,9 @@ func ReadFactorFrom(r io.Reader) (*FactorMatrix, error) {
 				return nil, fmt.Errorf("boolmat: row %d has invalid character %q", i, line[c])
 			}
 		}
-		m.rows[i] = mask
+		masks = append(masks, mask)
 	}
-	return m, nil
+	return &FactorMatrix{rows: masks, r: rank}, nil
 }
 
 // WriteFile writes the factor matrix to a file in the text interchange

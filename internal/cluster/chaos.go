@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// FaultPlan deterministically injects machine failures into a cluster.
+// Spark's resilience claims — lost tasks are re-executed, stragglers are
+// speculatively relaunched — are only testable if failures can be produced
+// on demand; a FaultPlan schedules them reproducibly: whether attempt a of
+// task t in stage s is failed, panicked, or delayed is a pure function of
+// (Seed, s, t, a), independent of goroutine scheduling and host load. Two
+// runs of the same workload under the same plan therefore inject the
+// identical fault schedule.
+//
+// Injected failures and panics are transient by construction: the final
+// allowed attempt of a task always runs clean, so a fault plan can never
+// fail a decomposition when retries are enabled — it only costs time. (A
+// FailFast cluster has exactly one attempt per task, so fail and panic
+// injection is disabled there; stragglers, which delay but never fail,
+// are still injected.) Real task errors are not shielded this way: a task
+// that genuinely fails on every attempt aborts the stage.
+type FaultPlan struct {
+	// Seed determines the entire fault schedule.
+	Seed int64
+	// FailureRate is the probability that a task attempt is lost after
+	// doing its work (the machine dies before reporting back). The wasted
+	// attempt's measured duration is charged to the simulated clock.
+	FailureRate float64
+	// PanicRate is the probability that a task attempt panics instead of
+	// running, exercising the engine's recovery path.
+	PanicRate float64
+	// StragglerRate is the probability that an attempt is delayed by
+	// StragglerDelay on the simulated clock (real execution is not
+	// slowed).
+	StragglerRate float64
+	// StragglerDelay is the simulated delay of a straggling attempt.
+	// Default 1s.
+	StragglerDelay time.Duration
+	// SpeculativeLaunch is the simulated latency of launching a
+	// speculative copy of a straggling task on another machine.
+	// Default 100ms.
+	SpeculativeLaunch time.Duration
+	// DisableSpeculation turns off speculative re-execution of
+	// stragglers: the full StragglerDelay is then always paid.
+	DisableSpeculation bool
+}
+
+func (p *FaultPlan) validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"FailureRate", p.FailureRate}, {"PanicRate", p.PanicRate}, {"StragglerRate", p.StragglerRate}} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("cluster: FaultPlan.%s %v outside [0,1]", r.name, r.v)
+		}
+	}
+	if p.FailureRate+p.PanicRate+p.StragglerRate > 1 {
+		return fmt.Errorf("cluster: FaultPlan rates sum to %v > 1",
+			p.FailureRate+p.PanicRate+p.StragglerRate)
+	}
+	return nil
+}
+
+func (p *FaultPlan) stragglerDelay() int64 {
+	if p.StragglerDelay > 0 {
+		return p.StragglerDelay.Nanoseconds()
+	}
+	return int64(time.Second)
+}
+
+func (p *FaultPlan) speculativeLaunch() int64 {
+	if p.SpeculativeLaunch > 0 {
+		return p.SpeculativeLaunch.Nanoseconds()
+	}
+	return int64(100 * time.Millisecond)
+}
+
+// faultKind is the outcome drawn for one task attempt.
+type faultKind int
+
+const (
+	faultNone faultKind = iota
+	// faultFail loses the attempt after it runs: work done, result gone.
+	faultFail
+	// faultPanic crashes the attempt before it runs.
+	faultPanic
+	// faultStraggler delays the attempt on the simulated clock.
+	faultStraggler
+)
+
+// draw returns the scheduled fault for attempt `attempt` of task `task` in
+// stage `stage`. last marks the task's final allowed attempt, on which fail
+// and panic injection is suppressed (see the type comment).
+func (p *FaultPlan) draw(stage int64, task, attempt int, last bool) faultKind {
+	h := splitmix64(uint64(p.Seed))
+	h = splitmix64(h ^ uint64(stage))
+	h = splitmix64(h ^ uint64(task))
+	h = splitmix64(h ^ uint64(attempt))
+	r := float64(h>>11) / (1 << 53)
+	switch {
+	case r < p.FailureRate:
+		if last {
+			return faultNone
+		}
+		return faultFail
+	case r < p.FailureRate+p.PanicRate:
+		if last {
+			return faultNone
+		}
+		return faultPanic
+	case r < p.FailureRate+p.PanicRate+p.StragglerRate:
+		return faultStraggler
+	default:
+		return faultNone
+	}
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a cheap,
+// high-quality bit mixer used to derive per-attempt fault draws.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -13,6 +13,11 @@
 //     sections contribute their measured duration directly.
 //   - Traffic counters record shuffled, broadcast, and collected bytes so
 //     the volume claims of the paper's Lemmas 6 and 7 can be validated.
+//   - Failed tasks are re-executed with bounded attempts and exponential
+//     backoff, reproducing Spark's task-level fault tolerance, and a
+//     seeded FaultPlan injects deterministic failures, panics, and
+//     straggler delays whose recovery cost is priced by the simulated
+//     clock (see Stats.Retries, InjectedFaults, SpeculativeWins).
 //
 // The machine-scalability experiment (paper Figure 7) reports simulated
 // makespans; all other experiments compare real wall-clock times of the
@@ -20,6 +25,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -59,7 +65,35 @@ type Config struct {
 	// Network prices simulated communication. Zero value means
 	// DefaultNetwork.
 	Network NetworkModel
+	// FailFast disables retries: the first task error or recovered panic
+	// aborts the stage immediately, the engine's original semantics.
+	FailFast bool
+	// MaxRetries bounds the re-execution attempts per failed task when
+	// FailFast is false. Task errors and recovered panics are treated as
+	// transient machine failures, as Spark treats lost executors, and the
+	// task is re-run with exponential backoff; only a task failing all
+	// 1+MaxRetries attempts aborts the stage. Zero means
+	// DefaultMaxRetries; negative panics.
+	MaxRetries int
+	// RetryBackoff is the base backoff before re-executing a failed task,
+	// doubled on every further attempt of the same task. It is charged to
+	// the simulated clock only — real execution retries immediately, so
+	// wall-clock tests stay fast while simulated makespans price the
+	// recovery delay a real cluster would pay. Zero means
+	// DefaultRetryBackoff.
+	RetryBackoff time.Duration
+	// Faults, when non-nil, injects deterministic task failures, panics,
+	// and straggler delays from a seed; see FaultPlan.
+	Faults *FaultPlan
 }
+
+// DefaultMaxRetries is the per-task retry bound when Config.MaxRetries is
+// zero; it matches Spark's default of 4 attempts per task.
+const DefaultMaxRetries = 3
+
+// DefaultRetryBackoff is the simulated base backoff between attempts when
+// Config.RetryBackoff is zero.
+const DefaultRetryBackoff = 100 * time.Millisecond
 
 // Stats holds the cumulative traffic and execution counters of a cluster.
 type Stats struct {
@@ -84,19 +118,35 @@ type Stats struct {
 	// TaskNanos is the summed duration of all tasks; ComputeNanos −
 	// TaskNanos/Machines measures load imbalance.
 	TaskNanos int64
+	// Retries is the number of task re-executions after transient
+	// failures (real errors, recovered panics, or injected faults).
+	Retries int64
+	// InjectedFaults is the number of failures, panics, and straggler
+	// delays injected by the configured FaultPlan.
+	InjectedFaults int64
+	// SpeculativeWins counts straggling tasks whose modeled speculative
+	// copy finished before the straggler would have, so the simulated
+	// clock paid the copy instead of the full delay.
+	SpeculativeWins int64
 }
 
 // Cluster is a simulated multi-machine execution engine.
 type Cluster struct {
-	machines    int
-	parallelism int
-	network     NetworkModel
+	machines     int
+	parallelism  int
+	network      NetworkModel
+	maxRetries   int
+	retryBackoff time.Duration
+	faults       *FaultPlan
 
 	shuffled  atomic.Int64
 	broadcast atomic.Int64
 	collected atomic.Int64
 	stages    atomic.Int64
 	tasks     atomic.Int64
+	retries   atomic.Int64
+	injected  atomic.Int64
+	specWins  atomic.Int64
 
 	// now is the clock used to measure task and driver durations;
 	// replaceable in tests for deterministic ledger checks.
@@ -127,7 +177,30 @@ func New(cfg Config) *Cluster {
 	if net == (NetworkModel{}) {
 		net = DefaultNetwork
 	}
-	return &Cluster{machines: cfg.Machines, parallelism: p, network: net, now: time.Now}
+	if cfg.MaxRetries < 0 {
+		panic(fmt.Sprintf("cluster: MaxRetries must be >= 0, got %d", cfg.MaxRetries))
+	}
+	retries := cfg.MaxRetries
+	if retries == 0 {
+		retries = DefaultMaxRetries
+	}
+	if cfg.FailFast {
+		retries = 0
+	}
+	backoff := cfg.RetryBackoff
+	if backoff <= 0 {
+		backoff = DefaultRetryBackoff
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.validate(); err != nil {
+			panic(err.Error())
+		}
+	}
+	return &Cluster{
+		machines: cfg.Machines, parallelism: p, network: net,
+		maxRetries: retries, retryBackoff: backoff, faults: cfg.Faults,
+		now: time.Now,
+	}
 }
 
 // Machines returns the number of logical machines M.
@@ -139,15 +212,18 @@ func (c *Cluster) Stats() Stats {
 	compute, network, driver, task := c.computeNanos, c.netNanos, c.driverNanos, c.taskNanos
 	c.mu.Unlock()
 	return Stats{
-		ShuffledBytes:  c.shuffled.Load(),
-		BroadcastBytes: c.broadcast.Load(),
-		CollectedBytes: c.collected.Load(),
-		Stages:         c.stages.Load(),
-		Tasks:          c.tasks.Load(),
-		ComputeNanos:   compute,
-		NetworkNanos:   network,
-		DriverNanos:    driver,
-		TaskNanos:      task,
+		ShuffledBytes:   c.shuffled.Load(),
+		BroadcastBytes:  c.broadcast.Load(),
+		CollectedBytes:  c.collected.Load(),
+		Stages:          c.stages.Load(),
+		Tasks:           c.tasks.Load(),
+		ComputeNanos:    compute,
+		NetworkNanos:    network,
+		DriverNanos:     driver,
+		TaskNanos:       task,
+		Retries:         c.retries.Load(),
+		InjectedFaults:  c.injected.Load(),
+		SpeculativeWins: c.specWins.Load(),
 	}
 }
 
@@ -163,17 +239,31 @@ func (c *Cluster) Collect(bytes int64) { c.collected.Add(bytes) }
 
 // ForEach runs n tasks as one parallel stage. Task t is logically placed on
 // machine t mod M. Real execution is bounded by the configured parallelism.
-// The first error (or recovered panic) aborts the stage and is returned;
-// remaining queued tasks are skipped.
+//
+// Task errors and recovered panics are treated as transient machine
+// failures: the task is re-executed up to the configured retry bound with
+// exponential (simulated) backoff, and only a task exhausting every attempt
+// aborts the stage — its last error, wrapped with the attempt count, is
+// returned and remaining queued tasks are skipped. Under FailFast the first
+// failure aborts immediately. A configured FaultPlan injects additional
+// deterministic failures, panics, and straggler delays.
+//
+// Cancellation of ctx is observed between task launches and between retry
+// attempts: no new work starts after ctx is done, in-flight tasks run to
+// completion, and ctx.Err() is returned.
 //
 // The simulated clock advances by the stage makespan: the maximum over
-// machines of the summed durations of the machine's tasks, plus the network
-// cost of traffic recorded since the previous stage boundary.
-func (c *Cluster) ForEach(n int, fn func(task int) error) error {
+// machines of the summed durations of the machine's tasks — including
+// wasted attempts, retry backoff, and injected straggler delays — plus the
+// network cost of traffic recorded since the previous stage boundary.
+func (c *Cluster) ForEach(ctx context.Context, n int, fn func(task int) error) error {
 	if n < 0 {
 		panic("cluster: negative task count")
 	}
-	c.stages.Add(1)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	stage := c.stages.Add(1) - 1
 	c.tasks.Add(int64(n))
 
 	perMachine := make([]int64, c.machines) // summed task nanos per logical machine
@@ -185,6 +275,11 @@ func (c *Cluster) ForEach(n int, fn func(task int) error) error {
 		failed   atomic.Bool
 		firstErr atomic.Value
 	)
+	fail := func(err error) {
+		if failed.CompareAndSwap(false, true) {
+			firstErr.Store(err)
+		}
+	}
 	workers := c.parallelism
 	if workers > n {
 		workers = n
@@ -198,16 +293,16 @@ func (c *Cluster) ForEach(n int, fn func(task int) error) error {
 				if t >= n || failed.Load() {
 					return
 				}
-				start := c.now()
-				err := runTask(fn, t)
-				dur := c.now().Sub(start).Nanoseconds()
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				simNanos, err := c.runAttempts(ctx, stage, t, fn)
 				perMachineMu.Lock()
-				perMachine[t%c.machines] += dur
+				perMachine[t%c.machines] += simNanos
 				perMachineMu.Unlock()
 				if err != nil {
-					if failed.CompareAndSwap(false, true) {
-						firstErr.Store(err)
-					}
+					fail(err)
 					return
 				}
 			}
@@ -242,6 +337,79 @@ func (c *Cluster) ForEach(n int, fn func(task int) error) error {
 	return nil
 }
 
+// runAttempts executes task t until one attempt succeeds or the retry
+// bound is exhausted, returning the simulated nanos charged to the task's
+// machine: every attempt's measured duration (wasted attempts included),
+// injected straggler delays, and the exponential backoff between attempts.
+func (c *Cluster) runAttempts(ctx context.Context, stage int64, t int, fn func(int) error) (int64, error) {
+	maxAttempts := 1 + c.maxRetries
+	var sim int64
+	for attempt := 0; ; attempt++ {
+		fault := faultNone
+		if c.faults != nil {
+			fault = c.faults.draw(stage, t, attempt, attempt == maxAttempts-1)
+		}
+		start := c.now()
+		var err error
+		if fault == faultPanic {
+			// The attempt crashes before the user task runs; the recover
+			// path turns the crash into a transient error.
+			err = runTask(func(int) error {
+				panic(fmt.Sprintf("injected fault (stage %d, attempt %d)", stage, attempt))
+			}, t)
+		} else {
+			err = runTask(fn, t)
+		}
+		dur := c.now().Sub(start).Nanoseconds()
+		switch fault {
+		case faultPanic:
+			c.injected.Add(1)
+		case faultFail:
+			// The machine is lost after the attempt ran: its work is
+			// discarded but its duration was spent.
+			c.injected.Add(1)
+			if err == nil {
+				err = fmt.Errorf("cluster: injected failure of task %d (stage %d, attempt %d)", t, stage, attempt)
+			}
+		case faultStraggler:
+			c.injected.Add(1)
+			dur += c.stragglerNanos(dur)
+		}
+		sim += dur
+		if err == nil {
+			return sim, nil
+		}
+		if attempt+1 >= maxAttempts {
+			if maxAttempts > 1 {
+				return sim, fmt.Errorf("cluster: task %d failed after %d attempts: %w", t, maxAttempts, err)
+			}
+			return sim, err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return sim, cerr
+		}
+		c.retries.Add(1)
+		sim += c.retryBackoff.Nanoseconds() << uint(attempt)
+	}
+}
+
+// stragglerNanos returns the simulated delay a straggling attempt adds.
+// Unless speculation is disabled, the engine models Spark's speculative
+// execution: a copy of the task is relaunched on another machine, costing
+// the attempt's own duration again plus the launch latency, and the clock
+// pays whichever finishes first.
+func (c *Cluster) stragglerNanos(attemptNanos int64) int64 {
+	delay := c.faults.stragglerDelay()
+	if c.faults.DisableSpeculation {
+		return delay
+	}
+	if spec := attemptNanos + c.faults.speculativeLaunch(); spec < delay {
+		c.specWins.Add(1)
+		return spec
+	}
+	return delay
+}
+
 func (c *Cluster) networkNanos(shuffled, broadcast, collected int64) int64 {
 	nanos := c.network.LatencyPerStage.Nanoseconds()
 	if c.network.BytesPerSecond > 0 {
@@ -265,8 +433,15 @@ func runTask(fn func(int) error, t int) (err error) {
 
 // Driver runs a sequential driver-side section and charges its measured
 // duration to the simulated clock. Column commits in DBTF — collecting the
-// per-partition errors and deciding each entry — are driver work.
-func (c *Cluster) Driver(fn func()) {
+// per-partition errors and deciding each entry — are driver work. A done
+// context skips the section and returns its error, so cancellation is
+// observed at every stage boundary.
+func (c *Cluster) Driver(ctx context.Context, fn func()) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
 	start := c.now()
 	fn()
 	dur := c.now().Sub(start).Nanoseconds()
@@ -274,6 +449,7 @@ func (c *Cluster) Driver(fn func()) {
 	c.simNanos += dur
 	c.driverNanos += dur
 	c.mu.Unlock()
+	return nil
 }
 
 // SimElapsed returns the simulated elapsed time on M machines.

@@ -164,6 +164,10 @@ type Result struct {
 	// InitialErrors holds the error of each of the L initial sets after
 	// the first iteration.
 	InitialErrors []int64
+	// IterationErrors holds the reconstruction error of the kept factor
+	// set after every iteration; the greedy column commits make it
+	// monotonically non-increasing.
+	IterationErrors []int64
 	// Stats snapshots the cluster's traffic counters after the run.
 	Stats cluster.Stats
 	// SimTime is the simulated elapsed time on the cluster's machines.
@@ -224,6 +228,7 @@ func Decompose(ctx context.Context, x *tensor.Tensor, cl *cluster.Cluster, opts 
 	}
 	a, b, c, prevErr := best.a, best.b, best.c, best.err
 	res.Iterations = 1
+	res.IterationErrors = append(res.IterationErrors, prevErr)
 
 	for t := 2; t <= opt.MaxIter; t++ {
 		if err := d.updateFactors(a, b, c); err != nil {
@@ -234,6 +239,7 @@ func Decompose(ctx context.Context, x *tensor.Tensor, cl *cluster.Cluster, opts 
 			return nil, err
 		}
 		res.Iterations = t
+		res.IterationErrors = append(res.IterationErrors, e)
 		d.trace("iteration %d: error %d", t, e)
 		if t >= opt.MinIter && prevErr-e <= opt.Tolerance {
 			prevErr = e
@@ -344,7 +350,7 @@ func (d *decomposition) trace(format string, args ...any) {
 // unfolding (Algorithm 2, lines 1-3). The shuffle volume of distributing
 // the partitions is charged to the cluster (Lemma 6).
 func (d *decomposition) partitionAll() error {
-	err := d.cl.ForEach(3, func(m int) error {
+	err := d.cl.ForEach(d.ctx, 3, func(m int) error {
 		u := d.x.Unfold(tensor.Mode(m + 1))
 		d.px[m] = partition.Build(u, d.opt.Partitions)
 		return nil
@@ -456,7 +462,7 @@ func (d *decomposition) updateFactor(px *partition.Partitioned, a, mf, ms *boolm
 	// its tables, matching the per-machine cost N·V·2^{R/⌈R/V⌉}·I of
 	// Lemma 4 step i.
 	summers := make([][]summer, n)
-	err := d.cl.ForEach(n, func(pi int) error {
+	err := d.cl.ForEach(d.ctx, n, func(pi int) error {
 		summers[pi] = d.blockSummers(px.Parts[pi], ms)
 		return nil
 	})
@@ -483,7 +489,7 @@ func (d *decomposition) updateFactor(px *partition.Partitioned, a, mf, ms *boolm
 		// 4-9). Blocks whose PVM row mask lacks bit c contribute
 		// identically to both candidates and are skipped: the decision
 		// depends only on error differences.
-		err := d.cl.ForEach(n, func(pi int) error {
+		err := d.cl.ForEach(d.ctx, n, func(pi int) error {
 			e0, e1 := errs0[pi], errs1[pi]
 			for r := range e0 {
 				e0[r], e1[r] = 0, 0
@@ -515,7 +521,7 @@ func (d *decomposition) updateFactor(px *partition.Partitioned, a, mf, ms *boolm
 		// The driver collects 2·P errors from every partition (Lemma 7)
 		// and commits the column (Algorithm 4 lines 10-12).
 		d.cl.Collect(int64(n) * int64(p) * 2 * 8)
-		d.cl.Driver(func() {
+		err = d.cl.Driver(d.ctx, func() {
 			for r := 0; r < p; r++ {
 				var t0, t1 int64
 				for pi := 0; pi < n; pi++ {
@@ -525,6 +531,9 @@ func (d *decomposition) updateFactor(px *partition.Partitioned, a, mf, ms *boolm
 				a.Set(r, c, t1 < t0)
 			}
 		})
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -549,7 +558,7 @@ func (d *decomposition) totalError(a, b, c *boolmat.FactorMatrix) (int64, error)
 	px := d.px[0]
 	n := len(px.Parts)
 	partial := make([]int64, n)
-	err := d.cl.ForEach(n, func(pi int) error {
+	err := d.cl.ForEach(d.ctx, n, func(pi int) error {
 		part := px.Parts[pi]
 		summers := d.blockSummers(part, b)
 		var e int64

@@ -36,7 +36,7 @@ func (d *decomposition) updateFactorHorizontal(px *partition.Partitioned, a, mf,
 	// full-width Q-bit vectors (row rr is mf's column rr Kronecker ms's
 	// column rr).
 	kron := make([]*bitvec.BitVec, r)
-	err := d.cl.ForEach(n, func(pi int) error {
+	err := d.cl.ForEach(d.ctx, n, func(pi int) error {
 		for rr := rankLo(pi); rr < rankHi(pi); rr++ {
 			v := bitvec.New(q)
 			inner := ms.Column(rr).Indices()
@@ -70,7 +70,7 @@ func (d *decomposition) updateFactorHorizontal(px *partition.Partitioned, a, mf,
 			return err
 		}
 		bit := uint64(1) << uint(c)
-		err := d.cl.ForEach(n, func(pi int) error {
+		err := d.cl.ForEach(d.ctx, n, func(pi int) error {
 			owned := ownedMask(rankLo(pi), rankHi(pi))
 			for row := 0; row < p; row++ {
 				key0 := (a.RowMask(row) &^ bit) & owned
@@ -91,7 +91,7 @@ func (d *decomposition) updateFactorHorizontal(px *partition.Partitioned, a, mf,
 		// Every partial is a full Q-bit vector shipped to the driver: the
 		// communication horizontal partitioning cannot avoid.
 		d.cl.Collect(int64(n) * int64(p) * 2 * int64((q+7)/8))
-		d.cl.Driver(func() {
+		err = d.cl.Driver(d.ctx, func() {
 			for row := 0; row < p; row++ {
 				var errs [2]int64
 				for cand := 0; cand < 2; cand++ {
@@ -104,6 +104,9 @@ func (d *decomposition) updateFactorHorizontal(px *partition.Partitioned, a, mf,
 				a.Set(row, c, errs[1] < errs[0])
 			}
 		})
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }

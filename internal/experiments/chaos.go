@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"dbtf"
+)
+
+func init() {
+	register("chaos", "fault tolerance: makespan under injected failures (Figure-7-style)", ChaosMakespan)
+}
+
+// ChaosMakespan reruns the machine-scalability workload under increasing
+// injected failure rates and reports how the simulated makespan degrades.
+// The Spark property DBTF inherits — lost tasks are re-executed, so
+// failures cost time but never correctness — must hold exactly: every row
+// checks that the factorization's output is bit-identical to the
+// fault-free run.
+func ChaosMakespan(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	dim := scaleDim(256, cfg.Scale)
+	rng := cfg.rng()
+	truth, _ := dbtf.TensorFromRandomFactors(rng, dim, dim, dim, fig1Rank, 0.2)
+	x := dbtf.AddNoise(rng, truth, 0.05, 0.05)
+	t := &Table{
+		ID:     "chaos",
+		Title:  fmt.Sprintf("simulated makespan under injected task failures (I=J=K=%d, rank 10, M=%d)", dim, cfg.Machines),
+		Header: []string{"failure rate", "sim time", "slowdown", "faults", "retries", "spec wins", "output"},
+		Notes: []string{
+			"failure rate f injects task losses at f, panics at f/4, and stragglers at f/2",
+			"injected faults are recovered by per-task retry; 'output =' marks bit-identical factors and error vs the fault-free run",
+			"the simulated clock pays wasted attempts, exponential backoff, and straggler delays (capped by speculative re-execution)",
+		},
+	}
+	var baseline *dbtf.Result
+	for _, rate := range []float64{0, 0.05, 0.1, 0.2} {
+		cfg.progress("chaos: failure rate %.2f", rate)
+		opt := dbtf.Options{
+			Rank: fig1Rank, Machines: cfg.Machines,
+			MaxIter: 3, MinIter: 3, Seed: cfg.Seed,
+		}
+		if rate > 0 {
+			opt.Faults = &dbtf.FaultPlan{
+				Seed:          cfg.Seed,
+				FailureRate:   rate,
+				PanicRate:     rate / 4,
+				StragglerRate: rate / 2,
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.Budget)
+		res, err := dbtf.Factorize(ctx, x, opt)
+		cancel()
+		if err != nil {
+			cell := "error"
+			if ctx.Err() != nil {
+				cell = "o.o.t."
+			}
+			t.Rows = append(t.Rows, []string{fmt.Sprintf("%.2f", rate), cell, "-", "-", "-", "-", "-"})
+			continue
+		}
+		if baseline == nil {
+			baseline = res
+		}
+		slowdown := "-"
+		if baseline.SimTime > 0 {
+			slowdown = fmt.Sprintf("%.2fx", float64(res.SimTime)/float64(baseline.SimTime))
+		}
+		output := "="
+		if res.Error != baseline.Error || !res.A.Equal(baseline.A) ||
+			!res.B.Equal(baseline.B) || !res.C.Equal(baseline.C) {
+			output = "DIVERGED"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", rate),
+			formatDuration(res.SimTime),
+			slowdown,
+			fmt.Sprintf("%d", res.Stats.InjectedFaults),
+			fmt.Sprintf("%d", res.Stats.Retries),
+			fmt.Sprintf("%d", res.Stats.SpeculativeWins),
+			output,
+		})
+	}
+	return t
+}

@@ -21,6 +21,7 @@ func TestRegistryComplete(t *testing.T) {
 		"err-density", "err-rank", "err-add", "err-del",
 		"abl-cache", "abl-groupbits", "abl-partitioning", "abl-partitions", "abl-initsets",
 		"ext-tucker", "ext-rankselect", "ext-wnm-mdl",
+		"chaos",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

@@ -21,8 +21,13 @@ type Coord = tensor.Coord
 // FactorMatrix is an n×R binary matrix with rows stored as uint64 masks.
 type FactorMatrix = boolmat.FactorMatrix
 
-// ClusterStats reports the simulated cluster's traffic counters.
+// ClusterStats reports the simulated cluster's traffic, execution, and
+// fault-tolerance counters.
 type ClusterStats = cluster.Stats
+
+// FaultPlan deterministically injects task failures, panics, and straggler
+// delays into the simulated cluster; see Options.Faults.
+type FaultPlan = cluster.FaultPlan
 
 // Dataset is a named stand-in for one of the paper's real-world datasets.
 type Dataset = gen.Dataset
