@@ -1,0 +1,155 @@
+// Benchmark-regression harness: `dbtf-bench -json` runs the Factorize
+// micro-benchmarks (the same configurations as BenchmarkFactorizeDim* in
+// bench_test.go) under testing.Benchmark and appends a BENCH_<n>.json
+// snapshot — ns/op, B/op, allocs/op, and the simulated cluster makespan —
+// to the output directory. Successive snapshots form the performance
+// trajectory of the repository; EXPERIMENTS.md quotes the before/after
+// pairs of each optimization PR.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"dbtf"
+)
+
+// factorizeBench mirrors benchmarkFactorize in bench_test.go: one full DBTF
+// factorization per iteration. Keep the two in sync so JSON snapshots and
+// `go test -bench=Factorize` measure the same workload.
+type factorizeBench struct {
+	Name    string
+	Dim     int
+	Density float64
+	Rank    int
+}
+
+var factorizeBenches = []factorizeBench{
+	{"FactorizeDim32", 32, 0.05, 8},
+	{"FactorizeDim64", 64, 0.05, 8},
+	{"FactorizeDim128", 128, 0.02, 8},
+}
+
+func (fb factorizeBench) options() dbtf.Options {
+	return dbtf.Options{Rank: fb.Rank, Machines: 4, MaxIter: 5, MinIter: 5, Seed: 1}
+}
+
+func (fb factorizeBench) tensor() *dbtf.Tensor {
+	rng := rand.New(rand.NewSource(1))
+	return dbtf.RandomTensor(rng, fb.Dim, fb.Dim, fb.Dim, fb.Density)
+}
+
+// BenchRecord is one benchmark's measurement in a BENCH_<n>.json snapshot.
+type BenchRecord struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// SimMakespanNs is the simulated M-machine makespan of one
+	// factorization (Result.SimTime), the paper's Figure 7 metric.
+	SimMakespanNs int64 `json:"sim_makespan_ns"`
+	// NNZ and Error identify the workload and pin the result, so a
+	// "speedup" that silently changes the factorization is caught when
+	// snapshots are diffed.
+	NNZ   int   `json:"nnz"`
+	Error int64 `json:"error"`
+}
+
+// BenchSnapshot is the top-level BENCH_<n>.json document.
+type BenchSnapshot struct {
+	Index      int           `json:"index"`
+	Timestamp  string        `json:"timestamp"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Benches    []BenchRecord `json:"benches"`
+}
+
+var benchFileRe = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// nextBenchIndex returns one past the highest BENCH_<n>.json index in dir.
+func nextBenchIndex(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	next := 0
+	for _, e := range entries {
+		m := benchFileRe.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err == nil && n+1 > next {
+			next = n + 1
+		}
+	}
+	return next, nil
+}
+
+// runJSONBench measures every Factorize micro-benchmark and writes the
+// snapshot to dir, returning the written path.
+func runJSONBench(dir string, progress *os.File) (string, error) {
+	idx, err := nextBenchIndex(dir)
+	if err != nil {
+		return "", err
+	}
+	snap := BenchSnapshot{
+		Index:      idx,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, fb := range factorizeBenches {
+		x := fb.tensor()
+		opt := fb.options()
+		// One instrumented run for the simulated makespan and the result
+		// fingerprint, outside the timed loop.
+		res, err := dbtf.Factorize(context.Background(), x, opt)
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", fb.Name, err)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := dbtf.Factorize(context.Background(), x, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rec := BenchRecord{
+			Name:          fb.Name,
+			Iterations:    r.N,
+			NsPerOp:       float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:    r.AllocedBytesPerOp(),
+			AllocsPerOp:   r.AllocsPerOp(),
+			SimMakespanNs: res.SimTime.Nanoseconds(),
+			NNZ:           x.NNZ(),
+			Error:         res.Error,
+		}
+		snap.Benches = append(snap.Benches, rec)
+		if progress != nil {
+			fmt.Fprintf(progress, "%-16s %12.0f ns/op %8d allocs/op %10d B/op  sim %v  err %d\n",
+				rec.Name, rec.NsPerOp, rec.AllocsPerOp, rec.BytesPerOp, res.SimTime.Round(time.Microsecond), rec.Error)
+		}
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", idx))
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

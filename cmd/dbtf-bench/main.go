@@ -7,6 +7,7 @@
 //	dbtf-bench -list
 //	dbtf-bench -exp fig1a [-budget 30s] [-machines 16] [-scale 1.0]
 //	dbtf-bench -exp all
+//	dbtf-bench -json [-out DIR]     # write a BENCH_<n>.json regression snapshot
 package main
 
 import (
@@ -35,9 +36,24 @@ func run(args []string) error {
 		scale    = fs.Float64("scale", 1.0, "workload scale factor")
 		seed     = fs.Int64("seed", 1, "random seed")
 		verbose  = fs.Bool("v", false, "print per-run progress")
+		jsonOut  = fs.Bool("json", false, "run the Factorize micro-benchmarks and write a BENCH_<n>.json snapshot")
+		outDir   = fs.String("out", ".", "output directory for -json snapshots")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *jsonOut {
+		progress := os.Stderr
+		if !*verbose {
+			progress = nil
+		}
+		path, err := runJSONBench(*outDir, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Println(path)
+		return nil
 	}
 
 	if *list {

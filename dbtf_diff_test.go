@@ -2,6 +2,7 @@ package dbtf_test
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -87,5 +88,36 @@ func TestDiffPartitionCountInvariant(t *testing.T) {
 			continue
 		}
 		assertIdentical(t, 1, "partition count", baseline, res)
+	}
+}
+
+// TestDiffDeltaKernelRanksAndGroupBits sweeps factorization ranks across
+// the whole uint64-mask range and both extreme cache splits (V=2: many
+// small groups, heavy occlusion in the delta kernels; V=15: one group for
+// most ranks). The word-parallel delta path must stay bit-identical to
+// the naive uncached reference at every combination.
+func TestDiffDeltaKernelRanksAndGroupBits(t *testing.T) {
+	ranks := []int{1, 2, 5, 8, 16, 31, 33, 48, 64}
+	for _, rank := range ranks {
+		for _, gb := range []int{2, 15} {
+			seed := int64(rank*100 + gb)
+			rng := rand.New(rand.NewSource(seed))
+			truth, _ := dbtf.TensorFromRandomFactors(rng, 13, 11, 12, 3, 0.3)
+			x := dbtf.AddNoise(rng, truth, 0.1, 0.1)
+			opt := dbtf.Options{
+				Rank: rank, Machines: 2, MaxIter: 2, MinIter: 2,
+				CacheGroupBits: gb, Seed: seed,
+			}
+			cached, err := dbtf.Factorize(context.Background(), x, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt.NoCache = true
+			uncached, err := dbtf.Factorize(context.Background(), x, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertIdentical(t, seed, fmt.Sprintf("rank=%d V=%d", rank, gb), cached, uncached)
+		}
 	}
 }

@@ -1,0 +1,124 @@
+// Word-parallel counting kernels. DBTF's hot loops combine several bit
+// vectors and need only a popcount of the combination; these kernels fuse
+// the Boolean operation and the count into one pass over the words, so no
+// intermediate vector is materialized and no allocation happens. They are
+// the bit-level-parallel primitives the factor-update delta evaluation and
+// the adaptive dense row kernels are built on.
+//
+// The word-slice forms operate on raw storage (as returned by Words) so
+// callers that already hold words — packed block rows, cache entries —
+// skip the BitVec wrapper entirely. All operands of one call must have the
+// same word count; bits beyond Len() are zero by the package invariant, so
+// counts never need masking.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// AndNotCount returns |v &^ w|, the number of bits set in v but not in w.
+// The lengths must match.
+func (v *BitVec) AndNotCount(w *BitVec) int {
+	if v.n != w.n {
+		panic(fmt.Sprintf("bitvec: AndNotCount length mismatch %d != %d", v.n, w.n))
+	}
+	return AndNotCountWords(v.words, w.words)
+}
+
+// OrAndCount returns |(v ∨ w) ∧ u| without materializing v ∨ w. The
+// lengths must match.
+func (v *BitVec) OrAndCount(w, u *BitVec) int {
+	if v.n != w.n || v.n != u.n {
+		panic(fmt.Sprintf("bitvec: OrAndCount length mismatch %d, %d, %d", v.n, w.n, u.n))
+	}
+	c := 0
+	for i, x := range v.words {
+		c += bits.OnesCount64((x | w.words[i]) & u.words[i])
+	}
+	return c
+}
+
+// OnesCountRange returns the number of set bits in [lo, hi), a range
+// popcount. It lets sliced views be weighed without being materialized.
+func (v *BitVec) OnesCountRange(lo, hi int) int {
+	if lo < 0 || hi > v.n || lo > hi {
+		panic(fmt.Sprintf("bitvec: OnesCountRange [%d,%d) out of range of %d bits", lo, hi, v.n))
+	}
+	if lo == hi {
+		return 0
+	}
+	lw, hw := lo>>wordLog, (hi-1)>>wordLog
+	loMask := ^uint64(0) << (uint(lo) & wordMask)
+	hiMask := ^uint64(0)
+	if r := uint(hi) & wordMask; r != 0 {
+		hiMask = (uint64(1) << r) - 1
+	}
+	if lw == hw {
+		return bits.OnesCount64(v.words[lw] & loMask & hiMask)
+	}
+	c := bits.OnesCount64(v.words[lw] & loMask)
+	for i := lw + 1; i < hw; i++ {
+		c += bits.OnesCount64(v.words[i])
+	}
+	return c + bits.OnesCount64(v.words[hw]&hiMask)
+}
+
+// AndCountWords returns popcount(a ∧ b) over raw word slices.
+func AndCountWords(a, b []uint64) int {
+	c := 0
+	for i, x := range a {
+		c += bits.OnesCount64(x & b[i])
+	}
+	return c
+}
+
+// AndNotCountWords returns popcount(a &^ b) over raw word slices.
+func AndNotCountWords(a, b []uint64) int {
+	c := 0
+	for i, x := range a {
+		c += bits.OnesCount64(x &^ b[i])
+	}
+	return c
+}
+
+// AndAndNotCountWords returns popcount(x ∧ (a &^ b)) over raw word
+// slices: the overlap of x with the region a adds beyond b. This is the
+// dense single-group delta kernel.
+func AndAndNotCountWords(x, a, b []uint64) int {
+	c := 0
+	for i, w := range x {
+		c += bits.OnesCount64(w & a[i] &^ b[i])
+	}
+	return c
+}
+
+// XorCountWords returns popcount(a ⊕ b) over raw word slices: the Hamming
+// distance, i.e. the Boolean reconstruction error of a dense row.
+func XorCountWords(a, b []uint64) int {
+	c := 0
+	for i, x := range a {
+		c += bits.OnesCount64(x ^ b[i])
+	}
+	return c
+}
+
+// GainCountsWords returns (|D|, |x ∧ D|) where D = (w1 &^ w0) &^ occ[0]
+// &^ occ[1] ... — the occluded gain region of a multi-group delta. x may
+// be nil, in which case only |D| is computed and the second result is 0.
+func GainCountsWords(x, w1, w0 []uint64, occ [][]uint64) (gain, overlap int) {
+	for i, hi := range w1 {
+		d := hi &^ w0[i]
+		if d == 0 {
+			continue
+		}
+		for _, o := range occ {
+			d &^= o[i]
+		}
+		gain += bits.OnesCount64(d)
+		if x != nil {
+			overlap += bits.OnesCount64(x[i] & d)
+		}
+	}
+	return gain, overlap
+}

@@ -1,0 +1,133 @@
+package bitvec
+
+import (
+	"testing"
+)
+
+// bitsFromBytes builds an n-bit vector and its []bool model from a byte
+// string (bit j of the vector is bit j%8 of byte j/8, zero past the data).
+func bitsFromBytes(n int, data []byte) (*BitVec, []bool) {
+	v := New(n)
+	ref := make([]bool, n)
+	for j := 0; j < n; j++ {
+		if j/8 < len(data) && data[j/8]&(1<<uint(j%8)) != 0 {
+			v.Set(j)
+			ref[j] = true
+		}
+	}
+	return v, ref
+}
+
+// FuzzKernels checks every fused counting kernel — the BitVec methods and
+// the raw word-slice forms the delta evaluation uses — against a []bool
+// model: AndNotCount, OrAndCount, OnesCountRange, AndCountWords,
+// AndNotCountWords, AndAndNotCountWords, XorCountWords, and
+// GainCountsWords with zero, one, and two occluders.
+func FuzzKernels(f *testing.F) {
+	f.Add(uint8(7), []byte{0xff}, []byte{0x0f}, []byte{0xaa})
+	f.Add(uint8(64), []byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{8, 7, 6, 5}, []byte{})
+	f.Add(uint8(65), []byte{}, []byte{0xff, 0xff}, []byte{1})
+	f.Add(uint8(200), []byte{0xde, 0xad, 0xbe, 0xef}, []byte{0xca, 0xfe}, []byte{0xba, 0xbe})
+	f.Fuzz(func(t *testing.T, size uint8, d1, d2, d3 []byte) {
+		n := int(size)
+		if n == 0 {
+			return
+		}
+		x, xr := bitsFromBytes(n, d1)
+		a, ar := bitsFromBytes(n, d2)
+		b, br := bitsFromBytes(n, d3)
+
+		var andNot, orAnd, and, xor, andAndNot int
+		for j := 0; j < n; j++ {
+			if xr[j] && !ar[j] {
+				andNot++
+			}
+			if (xr[j] || ar[j]) && br[j] {
+				orAnd++
+			}
+			if xr[j] && ar[j] {
+				and++
+			}
+			if xr[j] != ar[j] {
+				xor++
+			}
+			if xr[j] && ar[j] && !br[j] {
+				andAndNot++
+			}
+		}
+		if got := x.AndNotCount(a); got != andNot {
+			t.Fatalf("AndNotCount = %d, model %d", got, andNot)
+		}
+		if got := x.OrAndCount(a, b); got != orAnd {
+			t.Fatalf("OrAndCount = %d, model %d", got, orAnd)
+		}
+		if got := AndCountWords(x.Words(), a.Words()); got != and {
+			t.Fatalf("AndCountWords = %d, model %d", got, and)
+		}
+		if got := AndNotCountWords(x.Words(), a.Words()); got != andNot {
+			t.Fatalf("AndNotCountWords = %d, model %d", got, andNot)
+		}
+		if got := XorCountWords(x.Words(), a.Words()); got != xor {
+			t.Fatalf("XorCountWords = %d, model %d", got, xor)
+		}
+		if got := AndAndNotCountWords(x.Words(), a.Words(), b.Words()); got != andAndNot {
+			t.Fatalf("AndAndNotCountWords = %d, model %d", got, andAndNot)
+		}
+
+		// OnesCountRange over every unaligned boundary pair derived from
+		// the data lengths plus the degenerate and full ranges.
+		for _, rg := range [][2]int{{0, n}, {0, 0}, {n, n}, {n / 3, n/3 + (n-n/3)/2}, {n / 7, n - n/5}} {
+			lo, hi := rg[0], rg[1]
+			if lo > hi {
+				continue
+			}
+			want := 0
+			for j := lo; j < hi; j++ {
+				if xr[j] {
+					want++
+				}
+			}
+			if got := x.OnesCountRange(lo, hi); got != want {
+				t.Fatalf("OnesCountRange(%d,%d) = %d, model %d", lo, hi, got, want)
+			}
+		}
+
+		// GainCountsWords: D = (a &^ b) minus occluders; model per bit.
+		o2, o2r := bitsFromBytes(n, append(append([]byte{}, d3...), d1...))
+		for occCount := 0; occCount <= 2; occCount++ {
+			occ := make([][]uint64, 0, 2)
+			occRef := make([][]bool, 0, 2)
+			if occCount >= 1 {
+				occ = append(occ, x.Words())
+				occRef = append(occRef, xr)
+			}
+			if occCount >= 2 {
+				occ = append(occ, o2.Words())
+				occRef = append(occRef, o2r)
+			}
+			wantGain, wantOverlap := 0, 0
+			for j := 0; j < n; j++ {
+				d := ar[j] && !br[j]
+				for _, or := range occRef {
+					d = d && !or[j]
+				}
+				if d {
+					wantGain++
+					if xr[j] {
+						wantOverlap++
+					}
+				}
+			}
+			gain, overlap := GainCountsWords(x.Words(), a.Words(), b.Words(), occ)
+			if gain != wantGain || overlap != wantOverlap {
+				t.Fatalf("GainCountsWords(occ=%d) = (%d,%d), model (%d,%d)",
+					occCount, gain, overlap, wantGain, wantOverlap)
+			}
+			gainOnly, zero := GainCountsWords(nil, a.Words(), b.Words(), occ)
+			if gainOnly != wantGain || zero != 0 {
+				t.Fatalf("GainCountsWords(nil, occ=%d) = (%d,%d), model (%d,0)",
+					occCount, gainOnly, zero, wantGain)
+			}
+		}
+	})
+}

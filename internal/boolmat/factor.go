@@ -32,8 +32,9 @@ const MaxRank = 64
 // FactorMatrix is an n×R binary matrix, R ≤ MaxRank, with rows stored as
 // uint64 bit masks (bit r of row i is the entry at row i, column r).
 type FactorMatrix struct {
-	rows []uint64
-	r    int
+	rows    []uint64
+	r       int
+	version uint64
 }
 
 // NewFactor returns a zeroed n×r factor matrix.
@@ -78,12 +79,20 @@ func (m *FactorMatrix) Get(i, c int) bool {
 // Set assigns entry (i, c).
 func (m *FactorMatrix) Set(i, c int, v bool) {
 	m.checkCol(c)
+	m.version++
 	if v {
 		m.rows[i] |= 1 << uint(c)
 	} else {
 		m.rows[i] &^= 1 << uint(c)
 	}
 }
+
+// Version returns a counter that advances on every mutation. Derived
+// structures (row-summation caches) key their validity on the pair
+// (matrix pointer, version): equal pairs guarantee the derivation is
+// still current. Readers and the single writer must already be
+// externally synchronized, as for every other method.
+func (m *FactorMatrix) Version() uint64 { return m.version }
 
 func (m *FactorMatrix) checkCol(c int) {
 	if c < 0 || c >= m.r {
@@ -100,6 +109,7 @@ func (m *FactorMatrix) SetRowMask(i int, mask uint64) {
 	if m.r < MaxRank && mask>>uint(m.r) != 0 {
 		panic(fmt.Sprintf("boolmat: mask %#x has bits beyond rank %d", mask, m.r))
 	}
+	m.version++
 	m.rows[i] = mask
 }
 

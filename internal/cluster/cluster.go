@@ -206,6 +206,22 @@ func New(cfg Config) *Cluster {
 // Machines returns the number of logical machines M.
 func (c *Cluster) Machines() int { return c.machines }
 
+// MachineFor returns the logical machine that task t of any ForEach stage
+// is placed on: t mod M, the engine's static round-robin placement (the
+// same rule the simulated clock uses to attribute task durations). The
+// placement is stable across stages, so stages may key machine-local
+// state — per-machine cache tables, scratch pools — by this index and
+// rely on task t landing on the same machine every stage. Tasks that
+// share a machine may still execute concurrently in real time (the
+// goroutine pool is bounded by Parallelism, not by M), so machine-local
+// state must be internally synchronized.
+func (c *Cluster) MachineFor(task int) int {
+	if task < 0 {
+		panic(fmt.Sprintf("cluster: negative task index %d", task))
+	}
+	return task % c.machines
+}
+
 // Stats returns a snapshot of the traffic and execution counters.
 func (c *Cluster) Stats() Stats {
 	c.mu.Lock()

@@ -194,7 +194,7 @@ func Decompose(ctx context.Context, x *tensor.Tensor, cl *cluster.Cluster, opts 
 
 	start := time.Now()
 	cl.ResetClock()
-	d := &decomposition{ctx: ctx, x: x, cl: cl, opt: opt}
+	d := &decomposition{ctx: ctx, x: x, cl: cl, opt: opt, reg: newRegistries(cl.Machines())}
 	if err := d.partitionAll(); err != nil {
 		return nil, err
 	}
@@ -227,6 +227,14 @@ func Decompose(ctx context.Context, x *tensor.Tensor, cl *cluster.Cluster, opts 
 		}
 	}
 	a, b, c, prevErr := best.a, best.b, best.c, best.err
+	if opt.InitialSets > 1 {
+		// Losing sets' caches reference discarded factor matrices; drop
+		// them. (With a single set the registry's entries stay live: the
+		// cache totalError built over b serves iteration 2's A-update.)
+		for _, r := range d.reg {
+			r.clear()
+		}
+	}
 	res.Iterations = 1
 	res.IterationErrors = append(res.IterationErrors, prevErr)
 
@@ -338,6 +346,9 @@ type decomposition struct {
 	cl  *cluster.Cluster
 	opt Options
 	px  [3]*partition.Partitioned
+	// reg[m] shares row-summation caches among the partitions placed on
+	// machine m (Lemmas 4 and 5 count the build once per machine).
+	reg []*machineRegistry
 }
 
 func (d *decomposition) trace(format string, args ...any) {
@@ -412,11 +423,15 @@ func (s naiveSummer) Sum(mask uint64, scratch *bitvec.BitVec) (*bitvec.BitVec, i
 	return scratch, scratch.OnesCount()
 }
 
-// blockSummers builds, for one partition, a summer per block: the
-// distributed part of Algorithm 5. Full-product blocks share the
-// partition's full-size cache; partial blocks get sliced tables derived
-// from it (Lemma 3 bounds the distinct slices per partition).
-func (d *decomposition) blockSummers(p *partition.Partition, ms *boolmat.FactorMatrix) []summer {
+// blockSummers builds, for partition pi, a summer per block: the
+// distributed part of Algorithm 5. The full-size cache is resolved through
+// the registry of the machine the partition is placed on, so partitions
+// sharing a machine share one table — and stages sharing a caching matrix
+// (the B- and C-updates both cache over A; totalError's cache over B
+// serves the next A-update) share it too, for as long as the matrix's
+// version is unchanged. Partial blocks get lazily sliced views, memoized
+// per distinct range (Lemma 3 bounds those per partition).
+func (d *decomposition) blockSummers(pi int, p *partition.Partition, ms *boolmat.FactorMatrix) []summer {
 	out := make([]summer, len(p.Blocks))
 	if d.opt.NoCache {
 		cols := ms.Columns()
@@ -429,28 +444,22 @@ func (d *decomposition) blockSummers(p *partition.Partition, ms *boolmat.FactorM
 		}
 		return out
 	}
-	full := sumcache.NewFromFactor(ms, d.opt.GroupBits)
-	type sliceKey struct{ lo, hi int }
-	slices := map[sliceKey]*sumcache.Cache{}
+	mc := d.reg[d.cl.MachineFor(pi)].cacheFor(ms, d.opt.GroupBits)
 	for bi, b := range p.Blocks {
 		if b.Type == partition.Full {
-			out[bi] = cacheSummer{full}
+			out[bi] = cacheSummer{mc.full}
 			continue
 		}
-		key := sliceKey{b.InnerLo, b.InnerLo + b.Width()}
-		sc, ok := slices[key]
-		if !ok {
-			sc = full.Slice(key.lo, key.hi)
-			slices[key] = sc
-		}
-		out[bi] = cacheSummer{sc}
+		out[bi] = cacheSummer{mc.slice(b.InnerLo, b.InnerLo+b.Width())}
 	}
 	return out
 }
 
 // updateFactor updates factor matrix a against the partitioned unfolding
 // px, where mf indexes the PVM blocks (the first Khatri–Rao operand) and
-// ms is cached (the second operand) — Algorithm 4.
+// ms is cached (the second operand) — Algorithm 4, with the per-row
+// decision evaluated as the error difference e1 − e0 over the delta
+// region of the two candidate summations instead of two full errors.
 func (d *decomposition) updateFactor(px *partition.Partitioned, a, mf, ms *boolmat.FactorMatrix) error {
 	if d.opt.Horizontal {
 		return d.updateFactorHorizontal(px, a, mf, ms)
@@ -458,77 +467,45 @@ func (d *decomposition) updateFactor(px *partition.Partitioned, a, mf, ms *boolm
 	n := len(px.Parts)
 	p := a.Rows()
 
-	// Stage: build per-partition caches (Algorithm 5). Each partition owns
-	// its tables, matching the per-machine cost N·V·2^{R/⌈R/V⌉}·I of
-	// Lemma 4 step i.
-	summers := make([][]summer, n)
+	// Stage: build per-partition column tasks — block summers resolved
+	// through the per-machine cache registry (Algorithm 5) plus every
+	// buffer the column loop needs, so the loop itself allocates nothing.
+	tasks := make([]*columnTask, n)
 	err := d.cl.ForEach(d.ctx, n, func(pi int) error {
-		summers[pi] = d.blockSummers(px.Parts[pi], ms)
+		tasks[pi] = d.newColumnTask(pi, px.Parts[pi], a, mf, ms)
 		return nil
 	})
 	if err != nil {
 		return err
 	}
 
-	// Per-partition error accumulators for the two candidate values of the
-	// entry in the column under update.
-	errs0 := make([][]int64, n)
-	errs1 := make([][]int64, n)
-	for pi := range errs0 {
-		errs0[pi] = make([]int64, p)
-		errs1[pi] = make([]int64, p)
-	}
-
 	for c := 0; c < d.opt.Rank; c++ {
 		if err := d.ctx.Err(); err != nil {
 			return err
 		}
-		bit := uint64(1) << uint(c)
-		// Stage: every partition evaluates, for each row, the error of its
-		// column range under both candidate values (Algorithm 4 lines
-		// 4-9). Blocks whose PVM row mask lacks bit c contribute
-		// identically to both candidates and are skipped: the decision
-		// depends only on error differences.
+		// Stage: every partition evaluates, for each row, the error
+		// difference of its column range between the two candidate values
+		// (Algorithm 4 lines 4-9 reduced to the flipped cells only).
 		err := d.cl.ForEach(d.ctx, n, func(pi int) error {
-			e0, e1 := errs0[pi], errs1[pi]
-			for r := range e0 {
-				e0[r], e1[r] = 0, 0
-			}
-			part := px.Parts[pi]
-			for bi, b := range part.Blocks {
-				kMask := mf.RowMask(b.PVM)
-				if kMask&bit == 0 {
-					continue
-				}
-				sm := summers[pi][bi]
-				scratch := bitvec.New(sm.Width())
-				for r := 0; r < p; r++ {
-					row := a.RowMask(r)
-					rowBits := b.RowBits(r)
-					key0 := (row &^ bit) & kMask
-					key1 := key0 | bit
-					sum0, pop0 := sm.Sum(key0, scratch)
-					e0[r] += rowError(rowBits, sum0, pop0)
-					sum1, pop1 := sm.Sum(key1, scratch)
-					e1[r] += rowError(rowBits, sum1, pop1)
-				}
-			}
+			tasks[pi].evalColumn(c)
 			return nil
 		})
 		if err != nil {
 			return err
 		}
-		// The driver collects 2·P errors from every partition (Lemma 7)
-		// and commits the column (Algorithm 4 lines 10-12).
-		d.cl.Collect(int64(n) * int64(p) * 2 * 8)
+		// The driver collects P differences from every partition — one
+		// int64 per row, half of Lemma 7's two-errors-per-row bound — and
+		// commits the column (Algorithm 4 lines 10-12): set the entry
+		// exactly when candidate 1's total error is strictly smaller,
+		// i.e. when the summed difference is negative.
+		d.cl.Collect(int64(n) * int64(p) * 8)
 		err = d.cl.Driver(d.ctx, func() {
 			for r := 0; r < p; r++ {
-				var t0, t1 int64
+				var t int64
 				for pi := 0; pi < n; pi++ {
-					t0 += errs0[pi][r]
-					t1 += errs1[pi][r]
+					t += tasks[pi].deltas[r]
 				}
-				a.Set(r, c, t1 < t0)
+				a.Set(r, c, t < 0)
 			}
 		})
 		if err != nil {
@@ -538,29 +515,18 @@ func (d *decomposition) updateFactor(px *partition.Partitioned, a, mf, ms *boolm
 	return nil
 }
 
-// rowError returns |x_row ⊕ sum| for a sparse row (bit offsets within the
-// block) against a dense candidate summation: nnz + |sum| − 2·overlap.
-// Work is proportional to the number of nonzeros (Lemma 4's note on step
-// iii).
-func rowError(rowBits []int32, sum *bitvec.BitVec, pop int) int64 {
-	overlap := 0
-	for _, b := range rowBits {
-		if sum.Get(int(b)) {
-			overlap++
-		}
-	}
-	return int64(len(rowBits) + pop - 2*overlap)
-}
-
-// totalError computes |X ⊕ X̂| from the mode-1 partitions with fresh
-// caches, as a distributed stage.
+// totalError computes |X ⊕ X̂| from the mode-1 partitions as a distributed
+// stage. Its caches over b come from (and feed) the per-machine registry:
+// b is unchanged since its own update finished, so the B-update's tables
+// are reused here, and these remain valid for the next iteration's
+// A-update.
 func (d *decomposition) totalError(a, b, c *boolmat.FactorMatrix) (int64, error) {
 	px := d.px[0]
 	n := len(px.Parts)
 	partial := make([]int64, n)
 	err := d.cl.ForEach(d.ctx, n, func(pi int) error {
 		part := px.Parts[pi]
-		summers := d.blockSummers(part, b)
+		summers := d.blockSummers(pi, part, b)
 		var e int64
 		for bi, blk := range part.Blocks {
 			kMask := c.RowMask(blk.PVM)
@@ -568,7 +534,7 @@ func (d *decomposition) totalError(a, b, c *boolmat.FactorMatrix) (int64, error)
 			scratch := bitvec.New(sm.Width())
 			for r := 0; r < a.Rows(); r++ {
 				sum, pop := sm.Sum(a.RowMask(r)&kMask, scratch)
-				e += rowError(blk.RowBits(r), sum, pop)
+				e += blk.RowError(r, sum, pop)
 			}
 		}
 		partial[pi] = e

@@ -229,7 +229,7 @@ func newTestDecomposition(t *testing.T, x *tensor.Tensor, opt Options, machines 
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := &decomposition{ctx: context.Background(), x: x, cl: cl, opt: full}
+	d := &decomposition{ctx: context.Background(), x: x, cl: cl, opt: full, reg: newRegistries(cl.Machines())}
 	if err := d.partitionAll(); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"dbtf/internal/bitvec"
+	"dbtf/internal/boolmat"
+	"dbtf/internal/partition"
+	"dbtf/internal/sumcache"
+)
+
+// columnTask is one partition's reusable state for the column-update
+// stages of one factor update (Algorithm 4): block summers, pooled
+// scratch, and the per-row delta accumulator. Everything is allocated when
+// the task is built, before the column loop starts — evalColumn itself
+// performs zero allocations.
+type columnTask struct {
+	part *partition.Partition
+	// a is the factor matrix under update (row masks feed the cache
+	// keys); mf indexes the PVM blocks.
+	a, mf   *boolmat.FactorMatrix
+	summers []summer
+	// scratch[bi] backs naiveSummer evaluation in the NoCache ablation;
+	// nil under the cached delta path, which materializes no summations.
+	scratch []*bitvec.BitVec
+	delta   sumcache.Delta
+	// deltas[r] accumulates Σ_blocks (e1 − e0) for row r.
+	deltas  []int64
+	noCache bool
+}
+
+func (d *decomposition) newColumnTask(pi int, part *partition.Partition, a, mf, ms *boolmat.FactorMatrix) *columnTask {
+	t := &columnTask{
+		part:    part,
+		a:       a,
+		mf:      mf,
+		summers: d.blockSummers(pi, part, ms),
+		deltas:  make([]int64, a.Rows()),
+		noCache: d.opt.NoCache,
+	}
+	if t.noCache {
+		t.scratch = make([]*bitvec.BitVec, len(part.Blocks))
+		for bi, b := range part.Blocks {
+			t.scratch[bi] = bitvec.New(b.Width())
+		}
+	}
+	return t
+}
+
+// evalColumn fills deltas with every row's error difference e1 − e0 for
+// column c: the change in the partition's reconstruction error if the
+// row's entry in column c were 1 instead of 0. Blocks whose PVM row mask
+// lacks bit c reconstruct identically under both candidates and are
+// skipped; so are rows whose delta region is empty (SumDelta decides that
+// from two cached popcounts, without touching any vector).
+func (t *columnTask) evalColumn(c int) {
+	bit := uint64(1) << uint(c)
+	for r := range t.deltas {
+		t.deltas[r] = 0
+	}
+	for bi, b := range t.part.Blocks {
+		kMask := t.mf.RowMask(b.PVM)
+		if kMask&bit == 0 {
+			continue
+		}
+		if t.noCache {
+			t.evalBlockNaive(bi, b, bit, kMask)
+			continue
+		}
+		cache := t.summers[bi].(cacheSummer).Cache
+		for r := range t.deltas {
+			key0 := (t.a.RowMask(r) &^ bit) & kMask
+			cache.SumDelta(key0, bit, &t.delta)
+			if t.delta.Empty() {
+				continue
+			}
+			t.deltas[r] += b.DeltaError(r, &t.delta)
+		}
+	}
+}
+
+// evalBlockNaive is the uncached reference path: both candidate
+// summations are materialized from the factor columns and both errors
+// evaluated in full. It is retained as the ablation of Section III-C and
+// as the referee the differential tests compare the delta kernels
+// against.
+func (t *columnTask) evalBlockNaive(bi int, b *partition.Block, bit, kMask uint64) {
+	sm := t.summers[bi]
+	scratch := t.scratch[bi]
+	for r := range t.deltas {
+		row := t.a.RowMask(r)
+		key0 := (row &^ bit) & kMask
+		key1 := key0 | bit
+		sum0, pop0 := sm.Sum(key0, scratch)
+		e0 := b.RowError(r, sum0, pop0)
+		sum1, pop1 := sm.Sum(key1, scratch)
+		e1 := b.RowError(r, sum1, pop1)
+		t.deltas[r] += e1 - e0
+	}
+}

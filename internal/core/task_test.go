@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dbtf/internal/boolmat"
+)
+
+// TestEvalColumnMatchesNaive compares the delta-evaluation kernels (cached
+// path, dense and sparse blocks, single- and multi-group caches) against
+// the retained naive reference: per-row error differences must agree
+// exactly for every column, across random tensors and ranks spanning the
+// single-uint64-mask range.
+func TestEvalColumnMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ranks := []int{1, 2, 3, 7, 8, 13, 33, 64}
+	for _, r := range ranks {
+		for _, groupBits := range []int{2, 15} {
+			i, j, k := rng.Intn(8)+3, rng.Intn(8)+3, rng.Intn(8)+3
+			// Mix densities so some blocks pack dense rows and others
+			// keep the sparse offset walk.
+			density := []float64{0.01, 0.1, 0.4}[rng.Intn(3)]
+			x := randomTensor(rng, i, j, k, density)
+			a := boolmat.RandomFactor(rng, i, r, 0.3)
+			mf := boolmat.RandomFactor(rng, k, r, 0.3)
+			ms := boolmat.RandomFactor(rng, j, r, 0.3)
+
+			opt := Options{Rank: r, Partitions: rng.Intn(4) + 1, GroupBits: groupBits}
+			cached := newTestDecomposition(t, x, opt, 2)
+			opt.NoCache = true
+			naive := newTestDecomposition(t, x, opt, 2)
+
+			for pi, part := range cached.px[0].Parts {
+				ct := cached.newColumnTask(pi, part, a, mf, ms)
+				nt := naive.newColumnTask(pi, naive.px[0].Parts[pi], a, mf, ms)
+				for c := 0; c < r; c++ {
+					ct.evalColumn(c)
+					nt.evalColumn(c)
+					for row := range ct.deltas {
+						if ct.deltas[row] != nt.deltas[row] {
+							t.Fatalf("rank %d V=%d part %d col %d row %d: delta %d, naive %d",
+								r, groupBits, pi, c, row, ct.deltas[row], nt.deltas[row])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEvalColumnZeroAlloc pins the tentpole's allocation contract: once a
+// column task is built (and its lazy cache slices warmed), evaluating
+// columns allocates nothing — across both a single-group and a
+// multi-group (occluded delta) configuration.
+func TestEvalColumnZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	x := randomTensor(rng, 16, 12, 10, 0.2)
+	a := boolmat.RandomFactor(rng, 16, 8, 0.4)
+	mf := boolmat.RandomFactor(rng, 10, 8, 0.4)
+	ms := boolmat.RandomFactor(rng, 12, 8, 0.4)
+	for _, groupBits := range []int{3, 15} {
+		d := newTestDecomposition(t, x, Options{Rank: 8, Partitions: 3, GroupBits: groupBits}, 2)
+		for pi, part := range d.px[0].Parts {
+			task := d.newColumnTask(pi, part, a, mf, ms)
+			for c := 0; c < 8; c++ {
+				task.evalColumn(c) // warm lazy slices and the Occ buffer
+			}
+			allocs := testing.AllocsPerRun(5, func() {
+				for c := 0; c < 8; c++ {
+					task.evalColumn(c)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("V=%d part %d: evalColumn allocated %v times per sweep, want 0",
+					groupBits, pi, allocs)
+			}
+		}
+	}
+}
+
+// TestRegistrySharesCaches checks the per-machine cache accounting: tasks
+// on one machine share one table per caching matrix, a version bump
+// invalidates it, and distinct machines build their own.
+func TestRegistrySharesCaches(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	ms := boolmat.RandomFactor(rng, 12, 5, 0.4)
+	regs := newRegistries(2)
+
+	mc1 := regs[0].cacheFor(ms, 15)
+	mc2 := regs[0].cacheFor(ms, 15)
+	if mc1 != mc2 || mc1.full != mc2.full {
+		t.Fatal("same machine, same matrix version: cache not shared")
+	}
+	if s1, s2 := mc1.slice(2, 9), mc2.slice(2, 9); s1 != s2 {
+		t.Fatal("sliced views of one machine cache not memoized")
+	}
+	if other := regs[1].cacheFor(ms, 15); other == mc1 {
+		t.Fatal("distinct machines must not share registry entries")
+	}
+
+	ms.Set(0, 0, true) // bump version
+	mc3 := regs[0].cacheFor(ms, 15)
+	if mc3 == mc1 {
+		t.Fatal("stale cache served after the matrix changed")
+	}
+	if len(regs[0].entries) != 1 {
+		t.Fatalf("stale entries not evicted: %d live, want 1", len(regs[0].entries))
+	}
+}

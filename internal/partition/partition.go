@@ -18,8 +18,18 @@ package partition
 import (
 	"fmt"
 
+	"dbtf/internal/bitvec"
+	"dbtf/internal/sumcache"
 	"dbtf/internal/tensor"
 )
+
+// DenseRowThreshold is the block density at or above which packed row bit
+// vectors are built alongside the CSR form. The word-parallel dense
+// kernels cost ⌈width/64⌉ word operations per row while the sparse offset
+// walk costs one (gathered) operation per nonzero, so the break-even
+// density is 1/64; storage stays within 64 bits per nonzero, the same
+// order as the CSR offsets.
+const DenseRowThreshold = 1.0 / 64
 
 // BlockType classifies a block by how it meets the boundaries of its PVM
 // product (the numbered kinds of the paper's Figure 5).
@@ -75,6 +85,12 @@ type Block struct {
 	// are column indices relative to Lo, sorted ascending.
 	rowPtr []int32
 	bits   []int32
+
+	// denseWords packs every row as a width-bit vector (stride words per
+	// row) when the block's density reaches DenseRowThreshold; nil for
+	// sparse blocks. The error kernels pick the representation per block.
+	denseWords []uint64
+	stride     int
 }
 
 // Width returns the number of columns the block covers.
@@ -88,6 +104,95 @@ func (b *Block) RowBits(r int) []int32 {
 
 // NNZ returns the number of nonzeros in the block.
 func (b *Block) NNZ() int { return len(b.bits) }
+
+// Dense reports whether the block carries packed row bit vectors and the
+// word-parallel kernels apply to it.
+func (b *Block) Dense() bool { return b.denseWords != nil }
+
+// RowWords returns row r's packed words (⌈width/64⌉ of them); nil for
+// sparse blocks. The slice is shared; callers must not modify it.
+func (b *Block) RowWords(r int) []uint64 {
+	if b.denseWords == nil {
+		return nil
+	}
+	return b.denseWords[r*b.stride : (r+1)*b.stride]
+}
+
+// Density returns the fraction of set cells in the block.
+func (b *Block) Density(rows int) float64 {
+	cells := rows * b.Width()
+	if cells == 0 {
+		return 0
+	}
+	return float64(len(b.bits)) / float64(cells)
+}
+
+// DeltaError returns e1 − e0 for row r: the difference between the row's
+// reconstruction error with the candidate entry set to 1 versus 0, given
+// the delta region d of the candidate summations (Algorithm 4's decision
+// reduced to the flipped cells only):
+//
+//	e1 − e0 = |D| − 2·|x_row ∧ D|
+//
+// Dense blocks intersect the packed row with the delta word-at-a-time;
+// sparse blocks walk the row's nonzero offsets.
+func (b *Block) DeltaError(r int, d *sumcache.Delta) int64 {
+	if len(d.Occ) == 0 {
+		// Single-group delta: D is exactly the gain vector W1 &^ W0 and
+		// |D| is its cached popcount.
+		var overlap int
+		if b.denseWords != nil {
+			overlap = bitvec.AndAndNotCountWords(b.RowWords(r), d.W1, d.W0)
+		} else {
+			overlap = sparseGainOverlap(b.RowBits(r), d.W1, d.W0, nil)
+		}
+		return int64(d.Pop - 2*overlap)
+	}
+	if b.denseWords != nil {
+		gain, overlap := bitvec.GainCountsWords(b.RowWords(r), d.W1, d.W0, d.Occ)
+		return int64(gain - 2*overlap)
+	}
+	gain, _ := bitvec.GainCountsWords(nil, d.W1, d.W0, d.Occ)
+	return int64(gain - 2*sparseGainOverlap(b.RowBits(r), d.W1, d.W0, d.Occ))
+}
+
+// sparseGainOverlap counts the offsets lying inside the occluded gain
+// region (w1 &^ w0) &^ occ..., gathering one word per nonzero.
+func sparseGainOverlap(offs []int32, w1, w0 []uint64, occ [][]uint64) int {
+	n := 0
+	for _, o := range offs {
+		wi := int(o) >> 6
+		d := w1[wi] &^ w0[wi] & (uint64(1) << (uint32(o) & 63))
+		if d == 0 {
+			continue
+		}
+		for _, ow := range occ {
+			d &^= ow[wi]
+		}
+		if d != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// RowError returns |x_row ⊕ sum| for row r against a materialized
+// candidate summation with popcount pop. Dense blocks use the
+// word-parallel Hamming distance; sparse blocks walk the nonzeros
+// (nnz + |sum| − 2·overlap, Lemma 4's note on step iii).
+func (b *Block) RowError(r int, sum *bitvec.BitVec, pop int) int64 {
+	if b.denseWords != nil {
+		return int64(bitvec.XorCountWords(b.RowWords(r), sum.Words()))
+	}
+	rowBits := b.RowBits(r)
+	overlap := 0
+	for _, off := range rowBits {
+		if sum.Get(int(off)) {
+			overlap++
+		}
+	}
+	return int64(len(rowBits) + pop - 2*overlap)
+}
 
 // Partition is one contiguous vertical slice of an unfolded tensor.
 type Partition struct {
@@ -147,14 +252,79 @@ func Build(u *tensor.Unfolded, n int) *Partitioned {
 		// approximates the shuffled representation.
 		ShuffleBytes: int64(u.NNZ())*12 + int64(u.NumRows)*4,
 	}
+	// Lay out every partition's blocks first; together their column ranges
+	// tile [0, NumCols) in ascending order, so all CSR forms can be filled
+	// by merged sweeps per row instead of per-block binary searches. Two
+	// passes: the first counts nonzeros per block, the second writes the
+	// exact-size layout — CSR offsets, row pointers, and (for blocks at or
+	// above DenseRowThreshold) the packed row words — each carved out of
+	// one shared backing array.
+	var all []*Block
 	for i := 0; i < n; i++ {
 		lo := i * u.NumCols / n
 		hi := (i + 1) * u.NumCols / n
 		p := &Partition{Index: i, Lo: lo, Hi: hi}
-		for _, span := range blockSpans(lo, hi, u.BlockSize) {
-			p.Blocks = append(p.Blocks, buildBlock(u, span))
+		for _, s := range blockSpans(lo, hi, u.BlockSize) {
+			b := &Block{
+				PVM:     s.pvm,
+				Lo:      s.lo,
+				Hi:      s.hi,
+				InnerLo: s.lo - s.pvm*u.BlockSize,
+				Type:    classify(s, u.BlockSize),
+			}
+			p.Blocks = append(p.Blocks, b)
+			all = append(all, b)
 		}
 		px.Parts = append(px.Parts, p)
+	}
+
+	counts := make([]int, len(all))
+	for r := 0; r < u.NumRows; r++ {
+		bi := 0
+		for _, c := range u.Row(r) {
+			for c >= all[bi].Hi {
+				bi++
+			}
+			counts[bi]++
+		}
+	}
+	bitsArena := make([]int32, u.NNZ())
+	ptrArena := make([]int32, len(all)*(u.NumRows+1))
+	denseTotal := 0
+	off := 0
+	for bi, b := range all {
+		b.bits = bitsArena[off : off : off+counts[bi]]
+		off += counts[bi]
+		b.rowPtr = ptrArena[bi*(u.NumRows+1) : (bi+1)*(u.NumRows+1)]
+		if cells := u.NumRows * b.Width(); cells > 0 &&
+			float64(counts[bi])/float64(cells) >= DenseRowThreshold {
+			b.stride = (b.Width() + bitvec.WordBits - 1) / bitvec.WordBits
+			denseTotal += u.NumRows * b.stride
+		}
+	}
+	denseArena := make([]uint64, denseTotal)
+	for _, b := range all {
+		if b.stride > 0 {
+			b.denseWords = denseArena[:u.NumRows*b.stride]
+			denseArena = denseArena[u.NumRows*b.stride:]
+		}
+	}
+	for r := 0; r < u.NumRows; r++ {
+		bi := 0
+		for _, c := range u.Row(r) {
+			for c >= all[bi].Hi {
+				bi++
+			}
+			b := all[bi]
+			o := int32(c - b.Lo)
+			b.bits = append(b.bits, o)
+			if b.stride > 0 {
+				b.denseWords[r*b.stride+int(o)>>6] |= uint64(1) << (uint32(o) & 63)
+			}
+		}
+		for _, b := range all {
+			b.rowPtr[r+1] = int32(len(b.bits))
+		}
 	}
 	return px
 }
@@ -177,25 +347,6 @@ func blockSpans(lo, hi, blockSize int) []span {
 		cur = end
 	}
 	return out
-}
-
-func buildBlock(u *tensor.Unfolded, s span) *Block {
-	b := &Block{
-		PVM:     s.pvm,
-		Lo:      s.lo,
-		Hi:      s.hi,
-		InnerLo: s.lo - s.pvm*u.BlockSize,
-		Type:    classify(s, u.BlockSize),
-		rowPtr:  make([]int32, u.NumRows+1),
-	}
-	for r := 0; r < u.NumRows; r++ {
-		cols := u.RowInRange(r, s.lo, s.hi)
-		for _, c := range cols {
-			b.bits = append(b.bits, int32(c-s.lo))
-		}
-		b.rowPtr[r+1] = int32(len(b.bits))
-	}
-	return b
 }
 
 func classify(s span, blockSize int) BlockType {

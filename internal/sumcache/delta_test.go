@@ -1,0 +1,189 @@
+package sumcache
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dbtf/internal/bitvec"
+)
+
+// deltaBits materializes the delta region described by d as a bit vector:
+// (W1 &^ W0) minus every occluder.
+func deltaBits(d *Delta, width int) *bitvec.BitVec {
+	out := bitvec.New(width)
+	if d.Empty() {
+		return out
+	}
+	for j := 0; j < width; j++ {
+		wi, bm := j>>6, uint64(1)<<(uint(j)&63)
+		set := d.W1[wi]&bm != 0 && d.W0[wi]&bm == 0
+		for _, occ := range d.Occ {
+			set = set && occ[wi]&bm == 0
+		}
+		if set {
+			out.Set(j)
+		}
+	}
+	return out
+}
+
+// TestSumDeltaMatchesSums checks, for eager and sliced caches at several
+// group splits, that the delta region equals sum(mask|bit) &^ sum(mask)
+// and that Pop is the unoccluded gain popcount, for every (mask, bit)
+// pair with the bit not in the mask.
+func TestSumDeltaMatchesSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const r, width = 9, 70
+	cols := randomCols(rng, r, width)
+	for _, groupBits := range []int{2, 4, DefaultGroupBits} {
+		full := New(cols, groupBits)
+		half := full.Slice(13, 49)
+		for _, tc := range []struct {
+			name  string
+			c     *Cache
+			width int
+			lo    int
+		}{
+			{"eager", full, width, 0},
+			{"sliced", half, 49 - 13, 13},
+		} {
+			scratch := bitvec.New(tc.width)
+			var d Delta
+			for mask := uint64(0); mask < 1<<r; mask++ {
+				for b := 0; b < r; b++ {
+					bit := uint64(1) << uint(b)
+					if mask&bit != 0 {
+						continue
+					}
+					sum0, _ := tc.c.Sum(mask, scratch)
+					sum0 = sum0.Copy() // scratch may back both sums
+					sum1, _ := tc.c.Sum(mask|bit, scratch)
+					want := sum1.Copy()
+					want.AndNot(sum0)
+					tc.c.SumDelta(mask, bit, &d)
+					if got := deltaBits(&d, tc.width); !got.Equal(want) {
+						t.Fatalf("V=%d %s mask=%#x bit=%d: delta region mismatch",
+							groupBits, tc.name, mask, b)
+					}
+					if !d.Empty() {
+						// Pop is the within-group gain at this cache's
+						// width: |entry1 &^ entry0|.
+						wantPop := bitvec.AndNotCountWords(d.W1, d.W0)
+						if d.Pop != wantPop {
+							t.Fatalf("V=%d %s mask=%#x bit=%d: Pop=%d want %d",
+								groupBits, tc.name, mask, b, d.Pop, wantPop)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSumDeltaEmptySkipsWork checks the popcount short-circuit: when the
+// added bit's column contributes nothing new within its group, SumDelta
+// reports an empty delta, and on sliced caches it does so without
+// materializing any entry.
+func TestSumDeltaEmptySkipsWork(t *testing.T) {
+	// Column 1 duplicates column 0, so adding bit 1 to any mask that
+	// already has bit 0 gains nothing.
+	width := 40
+	c0 := bitvec.New(width)
+	for _, j := range []int{3, 17, 39} {
+		c0.Set(j)
+	}
+	cols := []*bitvec.BitVec{c0, c0.Copy()}
+	full := New(cols, DefaultGroupBits)
+	sl := full.Slice(10, 30)
+	var d Delta
+	sl.SumDelta(1, 2, &d) // mask has bit 0; adding bit 1 duplicates it
+	if !d.Empty() {
+		t.Fatal("delta of a duplicate column should be empty")
+	}
+	if got := sl.Materialized(); got != 0 {
+		t.Fatalf("empty delta materialized %d sliced entries, want 0", got)
+	}
+}
+
+func TestLazySliceMaterializesOnDemand(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	cols := randomCols(rng, 6, 64)
+	full := New(cols, DefaultGroupBits)
+	sl := full.Slice(5, 41)
+	if got, want := sl.Entries(), full.Entries(); got != want {
+		t.Fatalf("sliced capacity %d, want %d", got, want)
+	}
+	if got := sl.Materialized(); got != 0 {
+		t.Fatalf("fresh slice has %d materialized entries, want 0", got)
+	}
+	scratch := bitvec.New(sl.Width())
+	sum, pop := sl.Sum(0b101, scratch)
+	want := naiveSum(cols, 64, 0b101).Slice(5, 41)
+	if !sum.Equal(want) || pop != want.OnesCount() {
+		t.Fatal("lazy sliced sum differs from naive slice")
+	}
+	if got := sl.Materialized(); got != 1 {
+		t.Fatalf("after one query: %d materialized entries, want 1", got)
+	}
+	// Re-querying the same mask must not materialize anything new.
+	sl.Sum(0b101, scratch)
+	if got := sl.Materialized(); got != 1 {
+		t.Fatalf("after repeat query: %d materialized entries, want 1", got)
+	}
+}
+
+// TestSliceOfSliceStaysOneLevel checks that re-slicing a sliced cache
+// derives from the eager root (entry lookups never chain through two lazy
+// levels) and still yields correct sums.
+func TestSliceOfSliceStaysOneLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	cols := randomCols(rng, 5, 80)
+	full := New(cols, DefaultGroupBits)
+	inner := full.Slice(10, 60).Slice(5, 30) // bits [15, 40) of the root
+	if inner.parent != full {
+		t.Fatal("slice of slice should re-parent onto the eager root")
+	}
+	scratch := bitvec.New(inner.Width())
+	for mask := uint64(0); mask < 1<<5; mask++ {
+		sum, _ := inner.Sum(mask, scratch)
+		want := naiveSum(cols, 80, mask).Slice(15, 40)
+		if !sum.Equal(want) {
+			t.Fatalf("mask %#x: nested slice sum mismatch", mask)
+		}
+	}
+}
+
+// TestLazySliceConcurrentReaders hammers one sliced cache from many
+// goroutines (the sharing pattern of partitions co-located on a machine);
+// run under -race this pins the CAS publication protocol.
+func TestLazySliceConcurrentReaders(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	cols := randomCols(rng, 8, 96)
+	full := New(cols, 3) // 3 groups → SumDelta exercises occluders too
+	sl := full.Slice(7, 77)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			scratch := bitvec.New(sl.Width())
+			var d Delta
+			for i := 0; i < 500; i++ {
+				mask := rng.Uint64() & 0xff
+				sum, _ := sl.Sum(mask, scratch)
+				want := naiveSum(cols, 96, mask).Slice(7, 77)
+				if !sum.Equal(want) {
+					t.Errorf("mask %#x: concurrent sliced sum mismatch", mask)
+					return
+				}
+				bit := uint64(1) << uint(rng.Intn(8))
+				if mask&bit == 0 {
+					sl.SumDelta(mask, bit, &d)
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}

@@ -14,12 +14,25 @@
 // per group.
 //
 // Partition blocks narrower than a full PVM product (block types (1), (2)
-// and (4) of Figure 5) use sliced caches derived from the full-size one in
-// a single pass (Algorithm 5, lines 3–5).
+// and (4) of Figure 5) use sliced caches derived from the full-size one.
+// Sliced entries are materialized lazily and memoized: a partition that
+// never queries a mask never pays for slicing it (the eager variant of
+// Algorithm 5's lines 3–5 slices all 2^R entries up front, most of which
+// sparse row masks never touch).
+//
+// Beyond full summations, the cache serves error *deltas*: SumDelta
+// describes the region of cells that flip 0→1 when one rank bit is added
+// to a mask, as the per-group gain vector entry(m|b) &^ entry(m) plus the
+// other groups' entries that occlude it. Because cache entries are ORs of
+// column subsets, entry(m) ⊆ entry(m|b), so the gain popcount is the
+// difference of two cached popcounts — no vector work at all — and rows
+// whose gain is empty are skipped outright.
 package sumcache
 
 import (
 	"fmt"
+	"math/bits"
+	"sync/atomic"
 
 	"dbtf/internal/bitvec"
 	"dbtf/internal/boolmat"
@@ -30,21 +43,37 @@ import (
 const DefaultGroupBits = 15
 
 // Cache holds precomputed Boolean row summations for all 2^R masks over R
-// rank bits, split into groups of at most V bits each.
+// rank bits, split into groups of at most V bits each. A Cache built by
+// New is fully materialized; a Cache returned by Slice materializes its
+// entries lazily on first query. Both are safe for concurrent readers.
 type Cache struct {
 	rank  int
 	width int // bits per entry
 	// groups[g] covers rank bits [shift, shift+bits).
 	groups []group
+	// bitGroup maps each rank bit to its group index.
+	bitGroup [boolmat.MaxRank]uint8
+	// parent and lo/hi are set on lazily sliced caches: entries are bit
+	// range [lo, hi) of the parent's entries.
+	parent *Cache
+	lo, hi int
 }
 
 type group struct {
 	shift uint
 	bits  int
 	mask  uint64
-	// rows[m] = OR of the cached columns selected by m (within this group).
+	// rows[m] = OR of the cached columns selected by m (within this
+	// group); eager caches only.
 	rows []*bitvec.BitVec
-	pop  []int32 // OnesCount of rows[m]
+	pop  []int32 // OnesCount of rows[m]; eager caches only
+	// lazy[m] memoizes sliced entries; sliced caches only.
+	lazy []atomic.Pointer[sliceEntry]
+}
+
+type sliceEntry struct {
+	vec *bitvec.BitVec
+	pop int32
 }
 
 // New builds a cache over the given columns (column r is selected by mask
@@ -87,6 +116,9 @@ func New(cols []*bitvec.BitVec, groupBits int) *Cache {
 		if r == 0 {
 			bits = 0
 		}
+		for b := 0; b < bits; b++ {
+			c.bitGroup[int(shift)+b] = uint8(g)
+		}
 		c.groups = append(c.groups, buildGroup(cols, shift, bits, width))
 		shift += uint(bits)
 	}
@@ -124,13 +156,9 @@ func buildGroup(cols []*bitvec.BitVec, shift uint, bits, width int) group {
 	return g
 }
 
+// bitIndex returns the index of the single set bit.
 func bitIndex(single uint64) int {
-	n := 0
-	for single > 1 {
-		single >>= 1
-		n++
-	}
-	return n
+	return bits.TrailingZeros64(single)
 }
 
 // Rank returns the number of rank bits R the cache covers.
@@ -142,14 +170,61 @@ func (c *Cache) Width() int { return c.width }
 // NumGroups returns the number of cache tables ⌈R/V⌉ (Lemma 2).
 func (c *Cache) NumGroups() int { return len(c.groups) }
 
-// Entries returns the total number of cached row summations across all
-// groups, for memory accounting (Lemma 5).
+// Entries returns the total number of cacheable row summations across all
+// groups (the table capacity of Lemma 5's memory bound). For lazily
+// sliced caches this counts slots, not materialized entries; see
+// Materialized.
 func (c *Cache) Entries() int {
 	n := 0
-	for _, g := range c.groups {
-		n += len(g.rows)
+	for i := range c.groups {
+		g := &c.groups[i]
+		if g.lazy != nil {
+			n += len(g.lazy)
+		} else {
+			n += len(g.rows)
+		}
 	}
 	return n
+}
+
+// Materialized returns the number of entries actually computed so far:
+// equal to Entries for eager caches, and the memoized subset for lazily
+// sliced caches.
+func (c *Cache) Materialized() int {
+	n := 0
+	for i := range c.groups {
+		g := &c.groups[i]
+		if g.lazy == nil {
+			n += len(g.rows)
+			continue
+		}
+		for m := range g.lazy {
+			if g.lazy[m].Load() != nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// entry returns the cached summation and popcount for mask m of group gi,
+// materializing and memoizing it on sliced caches. Concurrent callers
+// converge on a single canonical entry via compare-and-swap.
+func (c *Cache) entry(gi int, m uint64) (*bitvec.BitVec, int32) {
+	g := &c.groups[gi]
+	if g.lazy == nil {
+		return g.rows[m], g.pop[m]
+	}
+	if e := g.lazy[m].Load(); e != nil {
+		return e.vec, e.pop
+	}
+	pv, _ := c.parent.entry(gi, m)
+	vec := pv.Slice(c.lo, c.hi)
+	e := &sliceEntry{vec: vec, pop: int32(pv.OnesCountRange(c.lo, c.hi))}
+	if !g.lazy[m].CompareAndSwap(nil, e) {
+		e = g.lazy[m].Load() // another reader won the race; share its entry
+	}
+	return e.vec, e.pop
 }
 
 // Sum returns the Boolean row summation for the given mask along with its
@@ -160,42 +235,117 @@ func (c *Cache) Entries() int {
 func (c *Cache) Sum(mask uint64, scratch *bitvec.BitVec) (sum *bitvec.BitVec, pop int) {
 	if len(c.groups) == 1 {
 		g := &c.groups[0]
-		m := mask & g.mask
-		return g.rows[m], int(g.pop[m])
+		e, p := c.entry(0, mask&g.mask)
+		return e, int(p)
 	}
 	scratch.Zero()
 	for i := range c.groups {
 		g := &c.groups[i]
-		scratch.Or(g.rows[(mask>>g.shift)&g.mask])
+		e, _ := c.entry(i, (mask>>g.shift)&g.mask)
+		scratch.Or(e)
 	}
 	return scratch, scratch.OnesCount()
 }
 
+// Delta describes the cells that flip 0→1 when a single rank bit is added
+// to a mask: the gain region D = (W1 &^ W0) minus the bits already covered
+// by the other groups' entries (Occ). The per-row error difference of
+// Algorithm 4 then follows from D alone:
+//
+//	e1 − e0 = |D| − 2·|x_row ∧ D|
+//
+// because candidate 1's summation is candidate 0's plus exactly D.
+// A Delta is only a view into cache entries — word slices are read-only —
+// and is refilled in place by SumDelta so hot loops allocate nothing.
+type Delta struct {
+	// Pop is the gain popcount |entry(m|b)| − |entry(m)| within the bit's
+	// group, served from cached popcounts. Pop == 0 means the delta region
+	// is empty regardless of occlusion: the row can be skipped.
+	Pop int
+	// W1, W0 are the words of entry(m|b) and entry(m); the gain vector is
+	// W1 &^ W0 (entry(m) ⊆ entry(m|b), so its popcount is Pop).
+	W1, W0 []uint64
+	// Occ holds the words of the other groups' entries for the mask:
+	// cells they cover are already 1 under both candidates and must be
+	// excluded from the gain. Empty for single-group caches and for masks
+	// that select no column in the other groups.
+	Occ [][]uint64
+}
+
+// Empty reports whether the delta region is empty, in which case both
+// candidate errors are equal and the row contributes no difference.
+func (d *Delta) Empty() bool { return d.Pop == 0 }
+
+// SumDelta fills d with the delta region for adding rank bit `bit` (a
+// one-hot mask, not set in mask) to `mask`. On sliced caches a gain that
+// is empty at full width short-circuits without materializing any sliced
+// entry — the cached full-width popcounts decide emptiness for every
+// slice at once.
+func (c *Cache) SumDelta(mask, bit uint64, d *Delta) {
+	gi := int(c.bitGroup[bits.TrailingZeros64(bit)])
+	g := &c.groups[gi]
+	m0 := (mask >> g.shift) & g.mask
+	m1 := m0 | (bit >> g.shift)
+	if p := c.parent; p != nil {
+		pg := &p.groups[gi]
+		if pg.pop[m1] == pg.pop[m0] {
+			d.Pop = 0
+			return
+		}
+	}
+	e1, p1 := c.entry(gi, m1)
+	e0, p0 := c.entry(gi, m0)
+	d.Pop = int(p1 - p0)
+	if d.Pop == 0 {
+		return
+	}
+	d.W1, d.W0 = e1.Words(), e0.Words()
+	d.Occ = d.Occ[:0]
+	for oi := range c.groups {
+		if oi == gi {
+			continue
+		}
+		og := &c.groups[oi]
+		om := (mask >> og.shift) & og.mask
+		if om == 0 {
+			continue // entry 0 is empty and occludes nothing
+		}
+		oe, _ := c.entry(oi, om)
+		d.Occ = append(d.Occ, oe.Words())
+	}
+}
+
 // Slice derives a cache over bit range [lo, hi) of every entry, used for
-// partition blocks that cover only part of a PVM product. Each sliced
-// entry is produced with a single pass over the full-size table
-// (Algorithm 5: "vertically slice m such that the sliced one corresponds
-// to block b").
+// partition blocks that cover only part of a PVM product. Entries are
+// materialized lazily and memoized on first query (and shared by
+// concurrent readers), so masks that are never summed cost nothing;
+// Algorithm 5's eager "slice every entry" pass is the worst case, reached
+// only if all 2^R masks are actually queried.
 func (c *Cache) Slice(lo, hi int) *Cache {
 	if lo < 0 || hi > c.width || lo > hi {
 		panic(fmt.Sprintf("sumcache: Slice [%d,%d) out of range of %d bits", lo, hi, c.width))
 	}
-	out := &Cache{rank: c.rank, width: hi - lo, groups: make([]group, len(c.groups))}
+	if c.parent != nil {
+		// Slice relative to the eager root so entry() recurses one level.
+		return c.parent.Slice(c.lo+lo, c.lo+hi)
+	}
+	out := &Cache{
+		rank:     c.rank,
+		width:    hi - lo,
+		groups:   make([]group, len(c.groups)),
+		bitGroup: c.bitGroup,
+		parent:   c,
+		lo:       lo,
+		hi:       hi,
+	}
 	for i := range c.groups {
 		g := &c.groups[i]
-		ng := group{
+		out.groups[i] = group{
 			shift: g.shift,
 			bits:  g.bits,
 			mask:  g.mask,
-			rows:  make([]*bitvec.BitVec, len(g.rows)),
-			pop:   make([]int32, len(g.rows)),
+			lazy:  make([]atomic.Pointer[sliceEntry], len(g.rows)),
 		}
-		for m := range g.rows {
-			e := g.rows[m].Slice(lo, hi)
-			ng.rows[m] = e
-			ng.pop[m] = int32(e.OnesCount())
-		}
-		out.groups[i] = ng
 	}
 	return out
 }

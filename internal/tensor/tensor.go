@@ -218,6 +218,31 @@ func (t *Tensor) Unfold(mode Mode) *Unfolded {
 		rowPtr:    make([]int, nRows+1),
 		colIdx:    make([]int, len(t.coords)),
 	}
+	// The coordinate list is sorted by (I, J, K), which for every mode
+	// leaves the inner column index ascending within a fixed (row, PVM
+	// block) pair. A stable counting sort by the composite key
+	// row·NumBlocks + block therefore emits each row's columns already
+	// sorted — no comparison sort at all. The bucket array is transient;
+	// fall back to per-row sorting when it would dwarf the nonzeros.
+	if nb := nBlocks; nRows > 0 && nb > 0 && nRows <= (4*len(t.coords)+1024)/nb {
+		off := make([]int, nRows*nb+1)
+		for _, c := range t.coords {
+			off[rowOf(c, mode)*nb+blockOf(c, mode)+1]++
+		}
+		for b := 0; b < nRows*nb; b++ {
+			off[b+1] += off[b]
+		}
+		for r := 0; r < nRows; r++ {
+			u.rowPtr[r] = off[r*nb]
+		}
+		u.rowPtr[nRows] = len(t.coords)
+		for _, c := range t.coords {
+			b := rowOf(c, mode)*nb + blockOf(c, mode)
+			u.colIdx[off[b]] = colOf(c, mode, block)
+			off[b]++
+		}
+		return u
+	}
 	// Counting sort by row, then fill columns and sort within each row.
 	for _, c := range t.coords {
 		u.rowPtr[rowOf(c, mode)+1]++
@@ -237,6 +262,15 @@ func (t *Tensor) Unfold(mode Mode) *Unfolded {
 		sort.Ints(row)
 	}
 	return u
+}
+
+// blockOf returns the PVM block index of a coordinate under the given
+// mode: the K (modes 1, 2) or J (mode 3) index.
+func blockOf(c Coord, mode Mode) int {
+	if mode == Mode3 {
+		return c.J
+	}
+	return c.K
 }
 
 func rowOf(c Coord, mode Mode) int {
