@@ -42,8 +42,13 @@ func run(args []string) error {
 		seed       = fs.Int64("seed", 1, "random seed")
 		chaos      = fs.Float64("chaos", 0, "inject task failures at this rate into the simulated cluster (dbtf; panics at 1/4 and stragglers at 1/2 of the rate are injected too)")
 		chaosSeed  = fs.Int64("chaos-seed", 0, "seed of the fault-injection schedule (0 = -seed)")
+		chaosLoss  = fs.Float64("chaos-machine-loss", 0, "per-stage probability of losing each machine, in [0,1) (dbtf; survivors take over)")
+		chaosJoin  = fs.Int("chaos-rejoin", 0, "stages after which a lost machine rejoins (dbtf; 0 = never)")
 		maxRetries = fs.Int("max-retries", 0, "per-task retry bound for transient failures (0 = default 3)")
 		failFast   = fs.Bool("failfast", false, "abort on the first task failure instead of retrying")
+		ckDir      = fs.String("checkpoint-dir", "", "directory for durable iteration checkpoints (dbtf)")
+		ckEvery    = fs.Int("checkpoint-every", 1, "checkpoint period in iterations (dbtf; requires -checkpoint-dir)")
+		resume     = fs.Bool("resume", false, "continue from the checkpoint in -checkpoint-dir (dbtf)")
 		autoRank   = fs.Int("auto-rank", 0, "select the rank by MDL up to this maximum (overrides -rank; dbtf method only)")
 		mdlSelect  = fs.Bool("mdl", false, "use MDL model-order selection (walknmerge method only)")
 		budget     = fs.Duration("budget", 0, "abort after this duration (0 = unlimited)")
@@ -56,6 +61,27 @@ func run(args []string) error {
 	if *input == "" {
 		fs.Usage()
 		return fmt.Errorf("-input is required")
+	}
+	// Validate flag combinations before any work starts, so a bad
+	// invocation fails immediately with a clear message rather than
+	// mid-run.
+	if *maxRetries < 0 {
+		return fmt.Errorf("-max-retries %d must be >= 0", *maxRetries)
+	}
+	if *chaos < 0 || *chaos > 0.5 {
+		return fmt.Errorf("-chaos %v outside [0, 0.5]", *chaos)
+	}
+	if *chaosLoss < 0 || *chaosLoss >= 1 {
+		return fmt.Errorf("-chaos-machine-loss %v outside [0,1)", *chaosLoss)
+	}
+	if *chaosJoin < 0 {
+		return fmt.Errorf("-chaos-rejoin %d must be >= 0", *chaosJoin)
+	}
+	if *resume && *ckDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
+	if *ckDir != "" && *ckEvery <= 0 {
+		return fmt.Errorf("-checkpoint-every %d must be >= 1", *ckEvery)
 	}
 
 	x, err := dbtf.ReadTensorFile(*input)
@@ -101,26 +127,22 @@ func run(args []string) error {
 				sel.Rank, *autoRank, sel.Bits[sel.Rank-1], sel.BaselineBits)
 			break
 		}
-		if *maxRetries < 0 {
-			return fmt.Errorf("-max-retries %d must be >= 0", *maxRetries)
-		}
 		var faults *dbtf.FaultPlan
-		if *chaos > 0 {
-			if *chaos > 0.5 {
-				return fmt.Errorf("-chaos %v outside (0, 0.5]", *chaos)
-			}
+		if *chaos > 0 || *chaosLoss > 0 {
 			fseed := *chaosSeed
 			if fseed == 0 {
 				fseed = *seed
 			}
 			faults = &dbtf.FaultPlan{
-				Seed:          fseed,
-				FailureRate:   *chaos,
-				PanicRate:     *chaos / 4,
-				StragglerRate: *chaos / 2,
+				Seed:               fseed,
+				FailureRate:        *chaos,
+				PanicRate:          *chaos / 4,
+				StragglerRate:      *chaos / 2,
+				MachineLossRate:    *chaosLoss,
+				MachineRejoinAfter: *chaosJoin,
 			}
 		}
-		res, err := dbtf.Factorize(ctx, x, dbtf.Options{
+		opts := dbtf.Options{
 			Rank:           *rank,
 			MaxIter:        *maxIter,
 			InitialSets:    *sets,
@@ -132,7 +154,13 @@ func run(args []string) error {
 			FailFast:       *failFast,
 			Faults:         faults,
 			Trace:          trace,
-		})
+		}
+		if *ckDir != "" {
+			opts.CheckpointDir = *ckDir
+			opts.CheckpointEvery = *ckEvery
+			opts.Resume = *resume
+		}
+		res, err := dbtf.Factorize(ctx, x, opts)
 		if err != nil {
 			return err
 		}
@@ -142,8 +170,12 @@ func run(args []string) error {
 			res.SimTime.Round(time.Millisecond), *machines,
 			res.Stats.ShuffledBytes, res.Stats.BroadcastBytes, res.Stats.CollectedBytes)
 		if faults != nil {
-			fmt.Printf("chaos: %d injected faults, %d retries, %d speculative wins\n",
-				res.Stats.InjectedFaults, res.Stats.Retries, res.Stats.SpeculativeWins)
+			fmt.Printf("chaos: %d injected faults, %d retries, %d speculative launches (%d wins), %d machine losses, %d recoveries\n",
+				res.Stats.InjectedFaults, res.Stats.Retries, res.Stats.SpeculativeLaunches,
+				res.Stats.SpeculativeWins, res.Stats.MachineLosses, res.Stats.Recoveries)
+		}
+		if *ckDir != "" {
+			fmt.Printf("checkpoint: %d B written to %s\n", res.Stats.CheckpointBytes, *ckDir)
 		}
 	case "bcpals":
 		res, err := dbtf.FactorizeBCPALS(ctx, x, dbtf.BCPALSOptions{Rank: *rank, MaxIter: *maxIter})

@@ -97,6 +97,46 @@ func TestRunChaosRateValidated(t *testing.T) {
 	}
 }
 
+func TestRunFlagCombosValidatedUpFront(t *testing.T) {
+	path := writeTensor(t)
+	cases := map[string][]string{
+		"resume without checkpoint-dir": {"-resume"},
+		"checkpoint-every zero":         {"-checkpoint-dir", t.TempDir(), "-checkpoint-every", "0"},
+		"checkpoint-every negative":     {"-checkpoint-dir", t.TempDir(), "-checkpoint-every", "-2"},
+		"machine-loss rate 1":           {"-chaos-machine-loss", "1"},
+		"machine-loss rate negative":    {"-chaos-machine-loss", "-0.1"},
+		"rejoin negative":               {"-chaos-rejoin", "-1"},
+		"chaos negative":                {"-chaos", "-0.2"},
+		"max-retries negative":          {"-max-retries", "-1"},
+	}
+	for name, extra := range cases {
+		args := append([]string{"-input", path, "-rank", "2", "-machines", "2"}, extra...)
+		if err := run(args); err == nil {
+			t.Errorf("%s: invalid flags accepted: %v", name, extra)
+		}
+	}
+}
+
+func TestRunMachineLossChaos(t *testing.T) {
+	path := writeTensor(t)
+	if err := run([]string{"-input", path, "-rank", "2", "-machines", "4",
+		"-chaos-machine-loss", "0.15", "-chaos-rejoin", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCheckpointThenResume(t *testing.T) {
+	path := writeTensor(t)
+	dir := t.TempDir()
+	base := []string{"-input", path, "-rank", "2", "-machines", "2", "-checkpoint-dir", dir, "-checkpoint-every", "2"}
+	if err := run(base); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(base, "-resume")); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunVerbose(t *testing.T) {
 	path := writeTensor(t)
 	if err := run([]string{"-input", path, "-rank", "2", "-v"}); err != nil {

@@ -86,10 +86,23 @@ type Options struct {
 	// run, the engine's pre-fault-tolerance semantics.
 	FailFast bool
 	// Faults, when non-nil, injects deterministic task failures, panics,
-	// and straggler delays into the simulated cluster; see FaultPlan.
-	// With retries enabled injected faults never change the result, only
-	// the simulated makespan and the Stats fault counters.
+	// straggler delays, and machine losses into the simulated cluster; see
+	// FaultPlan. With retries enabled injected faults never change the
+	// result, only the simulated makespan and the Stats fault counters.
 	Faults *FaultPlan
+	// CheckpointDir, when non-empty, enables durable iteration-level
+	// checkpointing: every CheckpointEvery iterations (and at the final
+	// one) the run's state is written atomically to this directory, so a
+	// killed run can be continued bit-identically with Resume.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint period in iterations. Default 1;
+	// meaningful only with CheckpointDir.
+	CheckpointEvery int
+	// Resume continues from the checkpoint in CheckpointDir instead of
+	// initializing; the checkpoint must match this run's configuration
+	// and tensor. A missing checkpoint starts fresh. Requires
+	// CheckpointDir.
+	Resume bool
 	// NoCache disables row-summation caching (for ablations only).
 	NoCache bool
 	// Horizontal switches to horizontal (rank) partitioning (for ablations
@@ -174,10 +187,13 @@ func Factorize(ctx context.Context, x *Tensor, opt Options) (*Result, error) {
 		Tolerance:   opt.Tolerance,
 		Init:        opt.Init,
 		InitDensity: opt.InitDensity,
-		Seed:        opt.Seed,
-		NoCache:     opt.NoCache,
-		Horizontal:  opt.Horizontal,
-		Trace:       opt.Trace,
+		Seed:            opt.Seed,
+		CheckpointDir:   opt.CheckpointDir,
+		CheckpointEvery: opt.CheckpointEvery,
+		Resume:          opt.Resume,
+		NoCache:         opt.NoCache,
+		Horizontal:      opt.Horizontal,
+		Trace:           opt.Trace,
 	})
 	if err != nil {
 		return nil, err

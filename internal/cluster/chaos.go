@@ -43,8 +43,34 @@ type FaultPlan struct {
 	// Default 100ms.
 	SpeculativeLaunch time.Duration
 	// DisableSpeculation turns off speculative re-execution of
-	// stragglers: the full StragglerDelay is then always paid.
+	// stragglers: no backup copy is launched and the full StragglerDelay
+	// is always paid.
 	DisableSpeculation bool
+	// MachineLossRate is the per-stage probability that each live machine
+	// is lost at the stage boundary, drawn deterministically per
+	// (Seed, stage, machine). A lost machine's tasks are reassigned to
+	// survivors, its machine-local caches are invalidated (see
+	// Cluster.OnMachineLoss), and the recovery traffic is charged to the
+	// simulated clock. The engine never kills the last live machine, so a
+	// loss plan can slow a run but not fail it. Must lie in [0, 1).
+	MachineLossRate float64
+	// MachineRejoinAfter, when positive, lets a lost machine rejoin
+	// service that many stages after its loss. The rejoining machine
+	// re-fetches the broadcast working set (priced on the simulated
+	// clock) and rebuilds its caches lazily. Zero means lost machines
+	// never rejoin.
+	MachineRejoinAfter int
+	// MachineKills deterministically kills specific machines at specific
+	// stages, independent of MachineLossRate. Replayable by construction:
+	// the schedule does not depend on the seed at all.
+	MachineKills []MachineKill
+}
+
+// MachineKill schedules the loss of one machine at the boundary of one
+// stage (stages are numbered from 0 in execution order).
+type MachineKill struct {
+	Stage   int64
+	Machine int
 }
 
 func (p *FaultPlan) validate() error {
@@ -60,7 +86,47 @@ func (p *FaultPlan) validate() error {
 		return fmt.Errorf("cluster: FaultPlan rates sum to %v > 1",
 			p.FailureRate+p.PanicRate+p.StragglerRate)
 	}
+	if p.MachineLossRate < 0 || p.MachineLossRate >= 1 {
+		return fmt.Errorf("cluster: FaultPlan.MachineLossRate %v outside [0,1)", p.MachineLossRate)
+	}
+	if p.MachineRejoinAfter < 0 {
+		return fmt.Errorf("cluster: FaultPlan.MachineRejoinAfter %d < 0", p.MachineRejoinAfter)
+	}
+	for _, k := range p.MachineKills {
+		if k.Stage < 0 || k.Machine < 0 {
+			return fmt.Errorf("cluster: FaultPlan.MachineKills entry %+v has negative fields", k)
+		}
+	}
 	return nil
+}
+
+// lossesPossible reports whether the plan can ever produce a machine loss,
+// so the engine can skip per-stage loss bookkeeping entirely otherwise.
+func (p *FaultPlan) lossesPossible() bool {
+	return p.MachineLossRate > 0 || len(p.MachineKills) > 0
+}
+
+// machineLossTag separates the machine-loss draw stream from the per-task
+// fault draws of the same seed.
+const machineLossTag = 0x6d6c6f7373 // "mloss"
+
+// drawMachineLoss reports whether machine `machine` is scheduled to be
+// lost at the boundary of stage `stage`: a pure function of
+// (Seed, stage, machine) plus the explicit kill list, independent of
+// goroutine scheduling, so loss schedules replay exactly.
+func (p *FaultPlan) drawMachineLoss(stage int64, machine int) bool {
+	for _, k := range p.MachineKills {
+		if k.Stage == stage && k.Machine == machine {
+			return true
+		}
+	}
+	if p.MachineLossRate <= 0 {
+		return false
+	}
+	h := splitmix64(uint64(p.Seed) ^ machineLossTag)
+	h = splitmix64(h ^ uint64(stage))
+	h = splitmix64(h ^ uint64(machine))
+	return float64(h>>11)/(1<<53) < p.MachineLossRate
 }
 
 func (p *FaultPlan) stragglerDelay() int64 {

@@ -14,10 +14,12 @@
 //   - Traffic counters record shuffled, broadcast, and collected bytes so
 //     the volume claims of the paper's Lemmas 6 and 7 can be validated.
 //   - Failed tasks are re-executed with bounded attempts and exponential
-//     backoff, reproducing Spark's task-level fault tolerance, and a
-//     seeded FaultPlan injects deterministic failures, panics, and
-//     straggler delays whose recovery cost is priced by the simulated
-//     clock (see Stats.Retries, InjectedFaults, SpeculativeWins).
+//     backoff, reproducing Spark's task-level fault tolerance; straggling
+//     tasks launch real speculative backup copies whose race is priced by
+//     the simulated clock; and whole machines can be lost (and rejoin),
+//     with the dead machine's tasks reassigned to survivors and its
+//     machine-local state invalidated — see FaultPlan, OnMachineLoss, and
+//     Stats.
 //
 // The machine-scalability experiment (paper Figure 7) reports simulated
 // makespans; all other experiments compare real wall-clock times of the
@@ -41,7 +43,9 @@ import (
 //   - shuffled and broadcast data flow to M machines in parallel
 //     (Spark's shuffle fan-out and torrent broadcast), so they are priced
 //     against M links;
-//   - collected data converges on the driver's single downlink.
+//   - collected data converges on the driver's single downlink;
+//   - recovery re-broadcasts after a machine loss or rejoin target a
+//     single machine and are priced against one link.
 type NetworkModel struct {
 	LatencyPerStage time.Duration
 	BytesPerSecond  float64
@@ -83,7 +87,7 @@ type Config struct {
 	// DefaultRetryBackoff.
 	RetryBackoff time.Duration
 	// Faults, when non-nil, injects deterministic task failures, panics,
-	// and straggler delays from a seed; see FaultPlan.
+	// straggler delays, and machine losses from a seed; see FaultPlan.
 	Faults *FaultPlan
 }
 
@@ -96,13 +100,22 @@ const DefaultMaxRetries = 3
 const DefaultRetryBackoff = 100 * time.Millisecond
 
 // Stats holds the cumulative traffic and execution counters of a cluster.
+// Snapshots returned by Cluster.Stats are internally consistent: every
+// counter is read under one lock, and counters produced inside a stage
+// (retries, injected faults, speculation) are published together with that
+// stage's time accounting at the stage boundary — a snapshot taken while a
+// stage runs concurrently can never show, say, a retry whose task time is
+// missing.
 type Stats struct {
 	// ShuffledBytes is data repartitioned across machines: the one-off
-	// distribution of unfolded tensor partitions (Lemma 6).
+	// distribution of unfolded tensor partitions (Lemma 6) plus
+	// partitions re-shipped to survivors after machine losses.
 	ShuffledBytes int64
 	// BroadcastBytes is data sent from the driver to every machine: the
 	// factor matrices at each iteration (Lemma 7). Recorded already
-	// multiplied by the machine count.
+	// multiplied by the machine count. Recovery re-broadcasts (a single
+	// machine re-fetching the working set after a loss or rejoin) are
+	// added once, not multiplied.
 	BroadcastBytes int64
 	// CollectedBytes is data returned from partitions to the driver: the
 	// per-column error vectors (Lemma 7).
@@ -121,13 +134,28 @@ type Stats struct {
 	// Retries is the number of task re-executions after transient
 	// failures (real errors, recovered panics, or injected faults).
 	Retries int64
-	// InjectedFaults is the number of failures, panics, and straggler
-	// delays injected by the configured FaultPlan.
+	// InjectedFaults is the number of task-level failures, panics, and
+	// straggler delays injected by the configured FaultPlan. Machine
+	// losses are counted separately in MachineLosses.
 	InjectedFaults int64
-	// SpeculativeWins counts straggling tasks whose modeled speculative
-	// copy finished before the straggler would have, so the simulated
-	// clock paid the copy instead of the full delay.
+	// SpeculativeLaunches counts real backup copies launched for
+	// straggling tasks (Spark's speculative execution). A launched copy
+	// actually re-executes the task.
+	SpeculativeLaunches int64
+	// SpeculativeWins counts straggling tasks whose backup copy finished,
+	// on the simulated clock, before the straggler's delay would have
+	// elapsed — the straggler is cancelled and the clock pays the copy.
 	SpeculativeWins int64
+	// MachineLosses is the number of machine-loss events injected by the
+	// FaultPlan (seeded draws plus explicit MachineKills).
+	MachineLosses int64
+	// Recoveries counts completed recovery events: a lost machine's
+	// reassigned work finishing its stage successfully (one per loss),
+	// and a dead machine rejoining service.
+	Recoveries int64
+	// CheckpointBytes is the total size of durable iteration checkpoints
+	// written by the driver (see RecordCheckpoint).
+	CheckpointBytes int64
 }
 
 // Cluster is a simulated multi-machine execution engine.
@@ -139,26 +167,35 @@ type Cluster struct {
 	retryBackoff time.Duration
 	faults       *FaultPlan
 
-	shuffled  atomic.Int64
-	broadcast atomic.Int64
-	collected atomic.Int64
-	stages    atomic.Int64
-	tasks     atomic.Int64
-	retries   atomic.Int64
-	injected  atomic.Int64
-	specWins  atomic.Int64
-
 	// now is the clock used to measure task and driver durations;
 	// replaceable in tests for deterministic ledger checks.
 	now func() time.Time
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	// st accumulates every cumulative counter; Stats copies it under mu
+	// so snapshots are torn-free.
+	st       Stats
 	simNanos int64 // simulated elapsed time
-	// breakdown of simNanos for diagnostics
-	computeNanos, netNanos, driverNanos, taskNanos int64
 	// stage-local traffic snapshots, used to price the network cost of
 	// the stage that is about to run, per traffic class.
 	lastShuffled, lastBroadcast, lastCollected int64
+	// liveBroadcast is the per-machine broadcast working set in bytes
+	// (see BroadcastState): what a machine must re-fetch to rejoin the
+	// stage pipeline after a loss.
+	liveBroadcast int64
+	// recoveryNanos accumulates single-link recovery transfer time to be
+	// charged to the next stage's network cost.
+	recoveryNanos int64
+	// alive[m] reports whether logical machine m is in service; diedAt[m]
+	// is the stage at which a dead machine was lost. At least one machine
+	// is always alive.
+	alive       []bool
+	aliveCount  int
+	diedAt      []int64
+	lossHandler func(machine int)
+	// pendingRecoveries counts machine losses not yet absorbed by a
+	// successfully completed stage.
+	pendingRecoveries int64
 }
 
 // New returns a cluster with the given configuration.
@@ -195,66 +232,273 @@ func New(cfg Config) *Cluster {
 		if err := cfg.Faults.validate(); err != nil {
 			panic(err.Error())
 		}
+		for _, k := range cfg.Faults.MachineKills {
+			if k.Machine >= cfg.Machines {
+				panic(fmt.Sprintf("cluster: MachineKills machine %d outside cluster of %d", k.Machine, cfg.Machines))
+			}
+		}
+	}
+	alive := make([]bool, cfg.Machines)
+	for i := range alive {
+		alive[i] = true
 	}
 	return &Cluster{
 		machines: cfg.Machines, parallelism: p, network: net,
 		maxRetries: retries, retryBackoff: backoff, faults: cfg.Faults,
-		now: time.Now,
+		now:   time.Now,
+		alive: alive, aliveCount: cfg.Machines, diedAt: make([]int64, cfg.Machines),
 	}
 }
 
 // Machines returns the number of logical machines M.
 func (c *Cluster) Machines() int { return c.machines }
 
+// LiveMachines returns the number of machines currently in service.
+func (c *Cluster) LiveMachines() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.aliveCount
+}
+
 // MachineFor returns the logical machine that task t of any ForEach stage
-// is placed on: t mod M, the engine's static round-robin placement (the
-// same rule the simulated clock uses to attribute task durations). The
-// placement is stable across stages, so stages may key machine-local
-// state — per-machine cache tables, scratch pools — by this index and
-// rely on task t landing on the same machine every stage. Tasks that
-// share a machine may still execute concurrently in real time (the
-// goroutine pool is bounded by Parallelism, not by M), so machine-local
-// state must be internally synchronized.
+// executes on. The home placement is t mod M, the engine's static
+// round-robin rule (the same rule the simulated clock uses to attribute
+// task durations); while the home machine is lost, the task is reassigned
+// to the next live machine in ring order. The placement is stable across
+// stages for as long as the machine set is stable — machine losses and
+// rejoins happen only at stage boundaries — so stages may key
+// machine-local state (per-machine cache tables, scratch pools) by this
+// index. Tasks that share a machine may still execute concurrently in real
+// time (the goroutine pool is bounded by Parallelism, not by M), so
+// machine-local state must be internally synchronized.
 func (c *Cluster) MachineFor(task int) int {
 	if task < 0 {
 		panic(fmt.Sprintf("cluster: negative task index %d", task))
 	}
-	return task % c.machines
+	home := task % c.machines
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reassignLocked(home)
 }
 
-// Stats returns a snapshot of the traffic and execution counters.
+// reassignLocked maps a home machine to its current stand-in: itself while
+// alive, else the next live machine in ring order. At least one machine is
+// always alive.
+func (c *Cluster) reassignLocked(home int) int {
+	if c.alive[home] {
+		return home
+	}
+	for i := 1; i < c.machines; i++ {
+		if m := (home + i) % c.machines; c.alive[m] {
+			return m
+		}
+	}
+	return home
+}
+
+// OnMachineLoss registers fn to be invoked for every machine lost at a
+// stage boundary, from the goroutine entering the stage and before any of
+// the stage's tasks run. The handler owns the client-side recovery: it
+// typically drops the machine's local caches (they died with the machine)
+// and records the traffic of re-shipping the machine's pinned partitions
+// to survivors via Shuffle. A nil fn unregisters the handler.
+func (c *Cluster) OnMachineLoss(fn func(machine int)) {
+	c.mu.Lock()
+	c.lossHandler = fn
+	c.mu.Unlock()
+}
+
+// Stats returns a consistent snapshot of the traffic and execution
+// counters: all fields are read under one lock, and in-stage counters are
+// published only at stage boundaries together with the stage's time
+// accounting.
 func (c *Cluster) Stats() Stats {
 	c.mu.Lock()
-	compute, network, driver, task := c.computeNanos, c.netNanos, c.driverNanos, c.taskNanos
-	c.mu.Unlock()
-	return Stats{
-		ShuffledBytes:   c.shuffled.Load(),
-		BroadcastBytes:  c.broadcast.Load(),
-		CollectedBytes:  c.collected.Load(),
-		Stages:          c.stages.Load(),
-		Tasks:           c.tasks.Load(),
-		ComputeNanos:    compute,
-		NetworkNanos:    network,
-		DriverNanos:     driver,
-		TaskNanos:       task,
-		Retries:         c.retries.Load(),
-		InjectedFaults:  c.injected.Load(),
-		SpeculativeWins: c.specWins.Load(),
-	}
+	defer c.mu.Unlock()
+	return c.st
 }
 
 // Shuffle records bytes moved between machines during repartitioning.
-func (c *Cluster) Shuffle(bytes int64) { c.shuffled.Add(bytes) }
+func (c *Cluster) Shuffle(bytes int64) {
+	c.mu.Lock()
+	c.st.ShuffledBytes += bytes
+	c.mu.Unlock()
+}
 
 // Broadcast records bytes sent from the driver to every machine; the
 // recorded traffic is bytes × Machines, matching Lemma 7's O(M·I·R) term.
-func (c *Cluster) Broadcast(bytes int64) { c.broadcast.Add(bytes * int64(c.machines)) }
+func (c *Cluster) Broadcast(bytes int64) {
+	c.mu.Lock()
+	c.st.BroadcastBytes += bytes * int64(c.machines)
+	c.mu.Unlock()
+}
+
+// BroadcastState records a broadcast like Broadcast and additionally marks
+// bytes as the per-machine broadcast working set: the state a machine must
+// re-fetch before it can execute tasks again after a machine loss or
+// rejoin. Successive calls replace the working set — DBTF re-broadcasts
+// fresh factor matrices every iteration, superseding the previous ones.
+func (c *Cluster) BroadcastState(bytes int64) {
+	c.mu.Lock()
+	c.st.BroadcastBytes += bytes * int64(c.machines)
+	c.liveBroadcast = bytes
+	c.mu.Unlock()
+}
 
 // Collect records bytes returned from partitions to the driver.
-func (c *Cluster) Collect(bytes int64) { c.collected.Add(bytes) }
+func (c *Cluster) Collect(bytes int64) {
+	c.mu.Lock()
+	c.st.CollectedBytes += bytes
+	c.mu.Unlock()
+}
+
+// RecordCheckpoint records the durable write of an iteration checkpoint of
+// the given size (Stats.CheckpointBytes). The write itself is driver-side
+// disk I/O; its wall-clock cost is measured by the Driver section that
+// performs it, so only the byte count is recorded here.
+func (c *Cluster) RecordCheckpoint(bytes int64) {
+	c.mu.Lock()
+	c.st.CheckpointBytes += bytes
+	c.mu.Unlock()
+}
+
+// chargeRecoveryLocked prices a single-machine re-fetch of bytes over one
+// link and schedules it into the next stage's network cost. The bytes are
+// added to BroadcastBytes once (they target one machine, not M).
+func (c *Cluster) chargeRecoveryLocked(bytes int64) {
+	c.st.BroadcastBytes += bytes
+	if c.network.BytesPerSecond > 0 {
+		c.recoveryNanos += int64(float64(bytes) / c.network.BytesPerSecond * 1e9)
+	}
+}
+
+// stageState is the per-stage accounting shared by workers and speculative
+// backup goroutines. Everything here is merged into the cluster's
+// cumulative counters in one critical section at the stage boundary, so
+// concurrent Stats snapshots never observe a half-published stage.
+type stageState struct {
+	ctx context.Context
+	fn  func(int) error
+
+	backups sync.WaitGroup // speculative copies in flight; joined before the stage returns
+
+	mu         sync.Mutex
+	perMachine []int64 // summed simulated task nanos per logical machine
+	retries    int64
+	injected   int64
+	specWins   int64
+	specLaunch int64
+	losses     int // machine losses injected at this stage's boundary
+}
+
+func (st *stageState) charge(machine int, nanos int64) {
+	st.mu.Lock()
+	st.perMachine[machine] += nanos
+	st.mu.Unlock()
+}
+
+func (st *stageState) bump(counter *int64) {
+	st.mu.Lock()
+	*counter++
+	st.mu.Unlock()
+}
+
+// beginStage numbers the stage, applies scheduled machine rejoins and
+// losses at its boundary, invokes the loss handler for every machine lost,
+// and returns the stage index plus fresh per-stage accounting.
+func (c *Cluster) beginStage(ctx context.Context, n int, fn func(int) error) (int64, *stageState) {
+	var losses []int
+	c.mu.Lock()
+	stage := c.st.Stages
+	c.st.Stages++
+	c.st.Tasks += int64(n)
+	if c.faults != nil && c.faults.lossesPossible() {
+		if c.faults.MachineRejoinAfter > 0 {
+			for m := range c.alive {
+				if !c.alive[m] && stage-c.diedAt[m] >= int64(c.faults.MachineRejoinAfter) {
+					c.alive[m] = true
+					c.aliveCount++
+					// The rejoining machine re-fetches the broadcast
+					// working set before taking tasks again.
+					c.chargeRecoveryLocked(c.liveBroadcast)
+					c.st.Recoveries++
+				}
+			}
+		}
+		for m := range c.alive {
+			if !c.alive[m] || c.aliveCount <= 1 {
+				continue // never kill the last live machine
+			}
+			if c.faults.drawMachineLoss(stage, m) {
+				c.alive[m] = false
+				c.aliveCount--
+				c.diedAt[m] = stage
+				c.st.MachineLosses++
+				c.pendingRecoveries++
+				// The survivor taking over re-fetches the broadcast
+				// working set the dead machine held.
+				c.chargeRecoveryLocked(c.liveBroadcast)
+				losses = append(losses, m)
+			}
+		}
+	}
+	handler := c.lossHandler
+	c.mu.Unlock()
+	if handler != nil {
+		// Outside the lock: handlers record recovery traffic through
+		// Shuffle/Collect, which take the lock themselves.
+		for _, m := range losses {
+			handler(m)
+		}
+	}
+	return stage, &stageState{
+		ctx: ctx, fn: fn,
+		perMachine: make([]int64, c.machines),
+		losses:     len(losses),
+	}
+}
+
+// endStage merges the stage's accounting into the cumulative counters in
+// one critical section: makespan, network cost (including pending recovery
+// transfers), and every in-stage fault counter. ok marks a stage that
+// completed without error; it absorbs pending machine-loss recoveries.
+func (c *Cluster) endStage(st *stageState, ok bool) {
+	// All workers and backups are joined; st is no longer shared.
+	var makespan, taskSum int64
+	for _, m := range st.perMachine {
+		taskSum += m
+		if m > makespan {
+			makespan = m
+		}
+	}
+	c.mu.Lock()
+	dShuffled := c.st.ShuffledBytes - c.lastShuffled
+	dBroadcast := c.st.BroadcastBytes - c.lastBroadcast
+	dCollected := c.st.CollectedBytes - c.lastCollected
+	c.lastShuffled += dShuffled
+	c.lastBroadcast += dBroadcast
+	c.lastCollected += dCollected
+	net := c.networkNanos(dShuffled, dBroadcast, dCollected) + c.recoveryNanos
+	c.recoveryNanos = 0
+	c.st.Retries += st.retries
+	c.st.InjectedFaults += st.injected
+	c.st.SpeculativeWins += st.specWins
+	c.st.SpeculativeLaunches += st.specLaunch
+	c.st.TaskNanos += taskSum
+	c.st.ComputeNanos += makespan
+	c.st.NetworkNanos += net
+	c.simNanos += makespan + net
+	if ok && c.pendingRecoveries > 0 {
+		c.st.Recoveries += c.pendingRecoveries
+		c.pendingRecoveries = 0
+	}
+	c.mu.Unlock()
+}
 
 // ForEach runs n tasks as one parallel stage. Task t is logically placed on
-// machine t mod M. Real execution is bounded by the configured parallelism.
+// machine t mod M, reassigned to a survivor while that machine is lost
+// (see MachineFor). Real execution is bounded by the configured
+// parallelism.
 //
 // Task errors and recovered panics are treated as transient machine
 // failures: the task is re-executed up to the configured retry bound with
@@ -262,16 +506,22 @@ func (c *Cluster) Collect(bytes int64) { c.collected.Add(bytes) }
 // aborts the stage — its last error, wrapped with the attempt count, is
 // returned and remaining queued tasks are skipped. Under FailFast the first
 // failure aborts immediately. A configured FaultPlan injects additional
-// deterministic failures, panics, and straggler delays.
+// deterministic failures, panics, straggler delays, and machine losses
+// (applied at the stage boundary). An injected straggler launches a real
+// speculative backup copy of the task on another machine; the first
+// finisher on the simulated clock wins and the loser is cancelled. Backup
+// copies are joined before ForEach returns, so no goroutine outlives the
+// stage.
 //
-// Cancellation of ctx is observed between task launches and between retry
-// attempts: no new work starts after ctx is done, in-flight tasks run to
-// completion, and ctx.Err() is returned.
+// Cancellation of ctx is observed between task launches, between retry
+// attempts, and before a backup copy starts: no new work starts after ctx
+// is done, in-flight tasks run to completion, and ctx.Err() is returned.
 //
 // The simulated clock advances by the stage makespan: the maximum over
 // machines of the summed durations of the machine's tasks — including
-// wasted attempts, retry backoff, and injected straggler delays — plus the
-// network cost of traffic recorded since the previous stage boundary.
+// wasted attempts, retry backoff, speculative races, and recovery
+// transfers after machine losses — plus the network cost of traffic
+// recorded since the previous stage boundary.
 func (c *Cluster) ForEach(ctx context.Context, n int, fn func(task int) error) error {
 	if n < 0 {
 		panic("cluster: negative task count")
@@ -279,11 +529,7 @@ func (c *Cluster) ForEach(ctx context.Context, n int, fn func(task int) error) e
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	stage := c.stages.Add(1) - 1
-	c.tasks.Add(int64(n))
-
-	perMachine := make([]int64, c.machines) // summed task nanos per logical machine
-	var perMachineMu sync.Mutex
+	stage, st := c.beginStage(ctx, n, fn)
 
 	var (
 		wg       sync.WaitGroup
@@ -313,10 +559,9 @@ func (c *Cluster) ForEach(ctx context.Context, n int, fn func(task int) error) e
 					fail(err)
 					return
 				}
-				simNanos, err := c.runAttempts(ctx, stage, t, fn)
-				perMachineMu.Lock()
-				perMachine[t%c.machines] += simNanos
-				perMachineMu.Unlock()
+				assigned := c.MachineFor(t)
+				simNanos, err := c.runAttempts(st, stage, t, assigned)
+				st.charge(assigned, simNanos)
 				if err != nil {
 					fail(err)
 					return
@@ -325,39 +570,23 @@ func (c *Cluster) ForEach(ctx context.Context, n int, fn func(task int) error) e
 		}()
 	}
 	wg.Wait()
+	// Join speculative backup copies before closing the stage's books: no
+	// goroutine outlives ForEach, and the stage makespan includes every
+	// resolved speculation race.
+	st.backups.Wait()
 
-	var makespan, taskSum int64
-	for _, m := range perMachine {
-		taskSum += m
-		if m > makespan {
-			makespan = m
-		}
-	}
-	c.mu.Lock()
-	dShuffled := c.shuffled.Load() - c.lastShuffled
-	dBroadcast := c.broadcast.Load() - c.lastBroadcast
-	dCollected := c.collected.Load() - c.lastCollected
-	c.lastShuffled += dShuffled
-	c.lastBroadcast += dBroadcast
-	c.lastCollected += dCollected
-	net := c.networkNanos(dShuffled, dBroadcast, dCollected)
-	c.taskNanos += taskSum
-	c.computeNanos += makespan
-	c.netNanos += net
-	c.simNanos += makespan + net
-	c.mu.Unlock()
-
-	if err, ok := firstErr.Load().(error); ok {
-		return err
-	}
-	return nil
+	err, _ := firstErr.Load().(error)
+	c.endStage(st, err == nil)
+	return err
 }
 
 // runAttempts executes task t until one attempt succeeds or the retry
 // bound is exhausted, returning the simulated nanos charged to the task's
 // machine: every attempt's measured duration (wasted attempts included),
-// injected straggler delays, and the exponential backoff between attempts.
-func (c *Cluster) runAttempts(ctx context.Context, stage int64, t int, fn func(int) error) (int64, error) {
+// unspeculated straggler delays, and the exponential backoff between
+// attempts. Speculated stragglers resolve asynchronously (see speculate)
+// and charge the race outcome to the stage directly.
+func (c *Cluster) runAttempts(st *stageState, stage int64, t, assigned int) (int64, error) {
 	maxAttempts := 1 + c.maxRetries
 	var sim int64
 	for attempt := 0; ; attempt++ {
@@ -374,22 +603,28 @@ func (c *Cluster) runAttempts(ctx context.Context, stage int64, t int, fn func(i
 				panic(fmt.Sprintf("injected fault (stage %d, attempt %d)", stage, attempt))
 			}, t)
 		} else {
-			err = runTask(fn, t)
+			err = runTask(st.fn, t)
 		}
 		dur := c.now().Sub(start).Nanoseconds()
 		switch fault {
 		case faultPanic:
-			c.injected.Add(1)
+			st.bump(&st.injected)
 		case faultFail:
 			// The machine is lost after the attempt ran: its work is
 			// discarded but its duration was spent.
-			c.injected.Add(1)
+			st.bump(&st.injected)
 			if err == nil {
 				err = fmt.Errorf("cluster: injected failure of task %d (stage %d, attempt %d)", t, stage, attempt)
 			}
 		case faultStraggler:
-			c.injected.Add(1)
-			dur += c.stragglerNanos(dur)
+			st.bump(&st.injected)
+			if err != nil || c.faults.DisableSpeculation {
+				// A failed attempt is handled by retry, not speculation;
+				// with speculation disabled the full delay is always paid.
+				dur += c.faults.stragglerDelay()
+			} else {
+				c.speculate(st, t, assigned)
+			}
 		}
 		sim += dur
 		if err == nil {
@@ -401,29 +636,67 @@ func (c *Cluster) runAttempts(ctx context.Context, stage int64, t int, fn func(i
 			}
 			return sim, err
 		}
-		if cerr := ctx.Err(); cerr != nil {
+		if cerr := st.ctx.Err(); cerr != nil {
 			return sim, cerr
 		}
-		c.retries.Add(1)
+		st.bump(&st.retries)
 		sim += c.retryBackoff.Nanoseconds() << uint(attempt)
 	}
 }
 
-// stragglerNanos returns the simulated delay a straggling attempt adds.
-// Unless speculation is disabled, the engine models Spark's speculative
-// execution: a copy of the task is relaunched on another machine, costing
-// the attempt's own duration again plus the launch latency, and the clock
-// pays whichever finishes first.
-func (c *Cluster) stragglerNanos(attemptNanos int64) int64 {
+// speculate launches a real backup copy of straggling task t, reproducing
+// Spark's speculative execution: the copy actually re-executes the task on
+// the stage's goroutine pool (tasks are idempotent by the engine's
+// contract, so duplicate execution is safe), and the simulated clock pays
+// whichever finishes first — the straggler's injected delay or the copy's
+// measured duration plus launch latency. The loser is cancelled: both the
+// straggling machine and the backup machine are charged only up to the
+// race's resolution. A context cancelled before the copy starts cancels
+// the speculation instead, and the straggler pays its full delay. The
+// backup goroutine is registered with the stage and joined before ForEach
+// returns.
+func (c *Cluster) speculate(st *stageState, t, home int) {
 	delay := c.faults.stragglerDelay()
-	if c.faults.DisableSpeculation {
-		return delay
+	st.backups.Add(1)
+	go func() {
+		defer st.backups.Done()
+		if st.ctx.Err() != nil {
+			// Speculation cancelled before launch: the straggler runs to
+			// the end of its delay.
+			st.charge(home, delay)
+			return
+		}
+		st.bump(&st.specLaunch)
+		backup := c.backupMachineFor(home)
+		start := c.now()
+		// The original attempt already succeeded; the copy's outcome is
+		// discarded and its errors are irrelevant.
+		_ = runTask(st.fn, t)
+		cost := c.now().Sub(start).Nanoseconds() + c.faults.speculativeLaunch()
+		resolve := delay
+		if cost < delay {
+			st.bump(&st.specWins)
+			resolve = cost
+		}
+		st.charge(home, resolve)
+		if backup != home {
+			st.charge(backup, resolve)
+		}
+	}()
+}
+
+// backupMachineFor picks the machine a speculative copy launches on: the
+// next live machine after home in ring order, or home itself on a
+// single-machine (or fully-degraded) cluster.
+func (c *Cluster) backupMachineFor(home int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 1; i < c.machines; i++ {
+		if m := (home + i) % c.machines; c.alive[m] {
+			return m
+		}
 	}
-	if spec := attemptNanos + c.faults.speculativeLaunch(); spec < delay {
-		c.specWins.Add(1)
-		return spec
-	}
-	return delay
+	return home
 }
 
 func (c *Cluster) networkNanos(shuffled, broadcast, collected int64) int64 {
@@ -463,7 +736,7 @@ func (c *Cluster) Driver(ctx context.Context, fn func()) error {
 	dur := c.now().Sub(start).Nanoseconds()
 	c.mu.Lock()
 	c.simNanos += dur
-	c.driverNanos += dur
+	c.st.DriverNanos += dur
 	c.mu.Unlock()
 	return nil
 }
@@ -476,13 +749,14 @@ func (c *Cluster) SimElapsed() time.Duration {
 }
 
 // ResetClock zeroes the simulated clock and stage-traffic snapshots but
-// keeps the traffic counters. Used between timed experiment phases.
+// keeps the traffic counters and the machine liveness state. Used between
+// timed experiment phases.
 func (c *Cluster) ResetClock() {
 	c.mu.Lock()
 	c.simNanos = 0
-	c.computeNanos, c.netNanos, c.driverNanos, c.taskNanos = 0, 0, 0, 0
-	c.lastShuffled = c.shuffled.Load()
-	c.lastBroadcast = c.broadcast.Load()
-	c.lastCollected = c.collected.Load()
+	c.st.ComputeNanos, c.st.NetworkNanos, c.st.DriverNanos, c.st.TaskNanos = 0, 0, 0, 0
+	c.lastShuffled = c.st.ShuffledBytes
+	c.lastBroadcast = c.st.BroadcastBytes
+	c.lastCollected = c.st.CollectedBytes
 	c.mu.Unlock()
 }

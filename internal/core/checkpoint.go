@@ -1,0 +1,347 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"dbtf/internal/boolmat"
+	"dbtf/internal/tensor"
+)
+
+// CheckpointFile is the name of the checkpoint inside Options.CheckpointDir.
+// A single name (rather than per-iteration files) plus the atomic
+// rename-over write means the directory always holds exactly one complete,
+// valid checkpoint: the latest one.
+const CheckpointFile = "checkpoint.dbtf"
+
+// checkpointMagic identifies the checkpoint format; the trailing byte is
+// the format version.
+var checkpointMagic = [8]byte{'D', 'B', 'T', 'F', 'C', 'K', 'P', 0x01}
+
+// checkpoint is a durable snapshot of a decomposition at an iteration
+// boundary: everything Decompose needs to continue the run bit-identically
+// to one that was never interrupted.
+//
+// Binary layout (all integers little-endian):
+//
+//	magic      8 bytes  "DBTFCKP" + version 0x01
+//	payload:
+//	  fingerprint      u64   config+tensor fingerprint (see fingerprint)
+//	  iteration        u32   completed iterations
+//	  converged        u8    1 if the convergence criterion already fired
+//	  rngDraws         u64   source draws consumed by initialization
+//	  prevErr          u64   int64 bits of the last iteration's error
+//	  initialErrors    u32 count, then count × u64 (int64 bits)
+//	  iterationErrors  u32 count, then count × u64 (int64 bits)
+//	  A, B, C          boolmat.AppendBinary layout each
+//	crc32      u32  IEEE checksum of magic+payload
+type checkpoint struct {
+	Fingerprint     uint64
+	Iteration       int
+	Converged       bool
+	RNGDraws        uint64
+	PrevErr         int64
+	InitialErrors   []int64
+	IterationErrors []int64
+	A, B, C         *boolmat.FactorMatrix
+}
+
+func (ck *checkpoint) encode() []byte {
+	le := binary.LittleEndian
+	buf := append([]byte(nil), checkpointMagic[:]...)
+	buf = le.AppendUint64(buf, ck.Fingerprint)
+	buf = le.AppendUint32(buf, uint32(ck.Iteration))
+	conv := byte(0)
+	if ck.Converged {
+		conv = 1
+	}
+	buf = append(buf, conv)
+	buf = le.AppendUint64(buf, ck.RNGDraws)
+	buf = le.AppendUint64(buf, uint64(ck.PrevErr))
+	for _, errs := range [][]int64{ck.InitialErrors, ck.IterationErrors} {
+		buf = le.AppendUint32(buf, uint32(len(errs)))
+		for _, e := range errs {
+			buf = le.AppendUint64(buf, uint64(e))
+		}
+	}
+	for _, m := range []*boolmat.FactorMatrix{ck.A, ck.B, ck.C} {
+		buf = m.AppendBinary(buf)
+	}
+	return le.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// cursor is a bounds-checked little-endian reader over the payload;
+// every read reports truncation instead of slicing out of range.
+type cursor struct{ data []byte }
+
+func (c *cursor) take(n int) ([]byte, error) {
+	if len(c.data) < n {
+		return nil, fmt.Errorf("core: checkpoint truncated: %d bytes left, want %d", len(c.data), n)
+	}
+	b := c.data[:n]
+	c.data = c.data[n:]
+	return b, nil
+}
+
+func (c *cursor) u32() (uint32, error) {
+	b, err := c.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (c *cursor) u64() (uint64, error) {
+	b, err := c.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (c *cursor) i64s() ([]int64, error) {
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	// The count is bounded by the bytes actually present before anything
+	// is allocated, so a corrupt length cannot force a huge allocation.
+	if uint64(len(c.data)) < uint64(n)*8 {
+		return nil, fmt.Errorf("core: checkpoint truncated: %d bytes left, want %d errors", len(c.data), n)
+	}
+	out := make([]int64, n)
+	for i := range out {
+		v, err := c.u64()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = int64(v)
+	}
+	return out, nil
+}
+
+func (c *cursor) factor() (*boolmat.FactorMatrix, error) {
+	m, rest, err := boolmat.DecodeBinaryFactor(c.data)
+	if err != nil {
+		return nil, err
+	}
+	c.data = rest
+	return m, nil
+}
+
+// decodeCheckpoint parses and verifies a checkpoint image. Corrupt or
+// truncated input returns an error — never a panic, and never a partially
+// valid checkpoint: the CRC over the full image is verified before any
+// field is parsed.
+func decodeCheckpoint(data []byte) (*checkpoint, error) {
+	if len(data) < len(checkpointMagic)+4 {
+		return nil, fmt.Errorf("core: checkpoint too short: %d bytes", len(data))
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return nil, fmt.Errorf("core: checkpoint checksum mismatch: %#x != %#x", got, sum)
+	}
+	if [8]byte(body[:8]) != checkpointMagic {
+		return nil, fmt.Errorf("core: bad checkpoint magic %q", body[:8])
+	}
+	c := &cursor{data: body[8:]}
+	ck := &checkpoint{}
+	var err error
+	if ck.Fingerprint, err = c.u64(); err != nil {
+		return nil, err
+	}
+	iter, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	ck.Iteration = int(iter)
+	conv, err := c.take(1)
+	if err != nil {
+		return nil, err
+	}
+	if conv[0] > 1 {
+		return nil, fmt.Errorf("core: checkpoint converged flag %d not 0/1", conv[0])
+	}
+	ck.Converged = conv[0] == 1
+	if ck.RNGDraws, err = c.u64(); err != nil {
+		return nil, err
+	}
+	prev, err := c.u64()
+	if err != nil {
+		return nil, err
+	}
+	ck.PrevErr = int64(prev)
+	if ck.InitialErrors, err = c.i64s(); err != nil {
+		return nil, err
+	}
+	if ck.IterationErrors, err = c.i64s(); err != nil {
+		return nil, err
+	}
+	for _, m := range []**boolmat.FactorMatrix{&ck.A, &ck.B, &ck.C} {
+		if *m, err = c.factor(); err != nil {
+			return nil, err
+		}
+	}
+	if len(c.data) != 0 {
+		return nil, fmt.Errorf("core: checkpoint has %d trailing bytes", len(c.data))
+	}
+	if ck.Iteration < 1 || len(ck.IterationErrors) != ck.Iteration {
+		return nil, fmt.Errorf("core: checkpoint iteration %d does not match %d recorded errors",
+			ck.Iteration, len(ck.IterationErrors))
+	}
+	if last := ck.IterationErrors[len(ck.IterationErrors)-1]; last != ck.PrevErr {
+		return nil, fmt.Errorf("core: checkpoint error %d does not match last iteration error %d",
+			ck.PrevErr, last)
+	}
+	return ck, nil
+}
+
+// writeCheckpoint durably replaces the checkpoint in dir: the image is
+// written to a temp file in the same directory, fsynced, renamed over
+// CheckpointFile, and the directory is fsynced — a crash at any point
+// leaves either the old checkpoint or the new one, never a torn file.
+// Returns the image size.
+func writeCheckpoint(dir string, ck *checkpoint) (int64, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	data := ck.encode()
+	f, err := os.CreateTemp(dir, "checkpoint-*.tmp")
+	if err != nil {
+		return 0, err
+	}
+	tmp := f.Name()
+	cleanup := func(err error) (int64, error) {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if _, err := f.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, CheckpointFile)); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if d, err := os.Open(dir); err == nil {
+		err = d.Sync()
+		d.Close()
+		if err != nil {
+			return 0, err
+		}
+	}
+	return int64(len(data)), nil
+}
+
+// readCheckpoint loads the checkpoint from dir. A missing file returns
+// (nil, nil): resuming a run that was killed before its first checkpoint
+// boundary simply starts fresh.
+func readCheckpoint(dir string) (*checkpoint, error) {
+	data, err := os.ReadFile(filepath.Join(dir, CheckpointFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return decodeCheckpoint(data)
+}
+
+// fingerprint hashes (FNV-1a 64) everything that determines a
+// decomposition's trajectory: the resolved options that influence results,
+// the cluster size, and the tensor's dims and nonzero coordinates. Resume
+// refuses a checkpoint whose fingerprint differs — continuing under a
+// changed config or tensor could not be bit-identical to an uninterrupted
+// run. Checkpoint placement (CheckpointDir, CheckpointEvery, Resume) and
+// Trace are excluded: they affect durability, not results.
+func fingerprint(x *tensor.Tensor, opt Options, machines int) uint64 {
+	h := fnv64a{sum: 14695981039346656037}
+	for _, v := range []uint64{
+		uint64(opt.Rank), uint64(opt.MaxIter), uint64(opt.MinIter),
+		uint64(opt.InitialSets), uint64(opt.Partitions), uint64(opt.GroupBits),
+		uint64(opt.Tolerance), uint64(opt.Init), math.Float64bits(opt.InitDensity),
+		uint64(opt.Seed), boolBit(opt.NoCache), boolBit(opt.Horizontal),
+		uint64(machines),
+	} {
+		h.u64(v)
+	}
+	i, j, k := x.Dims()
+	coords := x.Coords()
+	h.u64(uint64(i))
+	h.u64(uint64(j))
+	h.u64(uint64(k))
+	h.u64(uint64(len(coords)))
+	for _, co := range coords {
+		h.u64(uint64(co.I))
+		h.u64(uint64(co.J))
+		h.u64(uint64(co.K))
+	}
+	return h.sum
+}
+
+type fnv64a struct{ sum uint64 }
+
+func (h *fnv64a) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.sum ^= uint64(byte(v >> (8 * i)))
+		h.sum *= 1099511628211
+	}
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// countingSource wraps a rand.Source64 and counts its draws. Every value
+// rand.Rand produces consumes draws from the source, so (seed, draw count)
+// is the generator's complete stream state: a checkpoint stores the count,
+// and resume replays exactly that many draws from a fresh source to
+// fast-forward to the identical state.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (s *countingSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.n++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.n = 0
+}
+
+// fastForward replays n draws, reproducing the state a source that made n
+// draws before its checkpoint was in. Int63 and Uint64 advance the
+// underlying generator identically, so replaying with either matches a
+// history of any mix.
+func (s *countingSource) fastForward(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.Int63()
+	}
+}

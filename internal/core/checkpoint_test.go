@@ -1,0 +1,320 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dbtf/internal/boolmat"
+)
+
+func testCheckpoint() *checkpoint {
+	rng := rand.New(rand.NewSource(5))
+	return &checkpoint{
+		Fingerprint:     0xdeadbeefcafef00d,
+		Iteration:       3,
+		Converged:       true,
+		RNGDraws:        1234,
+		PrevErr:         42,
+		InitialErrors:   []int64{99, 77},
+		IterationErrors: []int64{77, 60, 42},
+		A:               boolmat.RandomFactor(rng, 10, 4, 0.3),
+		B:               boolmat.RandomFactor(rng, 8, 4, 0.3),
+		C:               boolmat.RandomFactor(rng, 6, 4, 0.3),
+	}
+}
+
+func checkpointsEqual(a, b *checkpoint) bool {
+	if a.Fingerprint != b.Fingerprint || a.Iteration != b.Iteration ||
+		a.Converged != b.Converged || a.RNGDraws != b.RNGDraws || a.PrevErr != b.PrevErr {
+		return false
+	}
+	for _, p := range [][2][]int64{{a.InitialErrors, b.InitialErrors}, {a.IterationErrors, b.IterationErrors}} {
+		if len(p[0]) != len(p[1]) {
+			return false
+		}
+		for i := range p[0] {
+			if p[0][i] != p[1][i] {
+				return false
+			}
+		}
+	}
+	return a.A.Equal(b.A) && a.B.Equal(b.B) && a.C.Equal(b.C)
+}
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	ck := testCheckpoint()
+	got, err := decodeCheckpoint(ck.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !checkpointsEqual(ck, got) {
+		t.Fatalf("roundtrip mismatch:\n%+v\n%+v", ck, got)
+	}
+}
+
+func TestCheckpointDecodeRejectsCorruption(t *testing.T) {
+	valid := testCheckpoint().encode()
+	cases := map[string][]byte{
+		"empty":     {},
+		"too short": valid[:8],
+		"truncated": valid[:len(valid)-9],
+		"trailing":  append(append([]byte(nil), valid...), 0, 1, 2, 3),
+	}
+	for i := 0; i < len(valid); i += 7 {
+		c := append([]byte(nil), valid...)
+		c[i] ^= 0x40
+		cases[fmt.Sprintf("bit flip at %d", i)] = c
+	}
+	for name, data := range cases {
+		if _, err := decodeCheckpoint(data); err == nil {
+			t.Errorf("%s: corrupt checkpoint decoded without error", name)
+		}
+	}
+}
+
+func TestWriteCheckpointAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	first := testCheckpoint()
+	if _, err := writeCheckpoint(dir, first); err != nil {
+		t.Fatal(err)
+	}
+	second := testCheckpoint()
+	second.Iteration = 4
+	second.PrevErr = 30
+	second.IterationErrors = append(second.IterationErrors, 30)
+	n, err := writeCheckpoint(dir, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := readCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !checkpointsEqual(second, got) {
+		t.Fatal("read checkpoint is not the latest written one")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != CheckpointFile {
+		t.Fatalf("directory holds %v, want only %s (no temp files)", entries, CheckpointFile)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, CheckpointFile)); err != nil || fi.Size() != n {
+		t.Fatalf("checkpoint size %v (err %v), recorded %d", fi, err, n)
+	}
+}
+
+func TestReadCheckpointMissingIsFreshStart(t *testing.T) {
+	ck, err := readCheckpoint(t.TempDir())
+	if err != nil || ck != nil {
+		t.Fatalf("readCheckpoint(empty dir) = %v, %v; want nil, nil", ck, err)
+	}
+}
+
+func TestCountingSourceFastForward(t *testing.T) {
+	a := newCountingSource(99)
+	rng := rand.New(a)
+	for i := 0; i < 500; i++ {
+		rng.Intn(10 + i)
+		rng.Float64()
+	}
+	b := newCountingSource(99)
+	b.fastForward(a.n)
+	if b.n != a.n {
+		t.Fatalf("fast-forwarded draw count %d, want %d", b.n, a.n)
+	}
+	for i := 0; i < 100; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("draw %d after fast-forward: %d != %d", i, x, y)
+		}
+	}
+}
+
+func TestCheckpointOptionValidation(t *testing.T) {
+	cl := testCluster(2)
+	x := randomTensor(rand.New(rand.NewSource(1)), 4, 4, 4, 0.2)
+	for name, opt := range map[string]Options{
+		"resume without dir": {Rank: 2, Resume: true},
+		"every without dir":  {Rank: 2, CheckpointEvery: 2},
+		"negative every":     {Rank: 2, CheckpointDir: t.TempDir(), CheckpointEvery: -1},
+	} {
+		if _, err := Decompose(context.Background(), x, cl, opt); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+// resultsEqual compares everything a bit-identical resume must reproduce.
+func resultsEqual(a, b *Result) bool {
+	if a.Error != b.Error || a.Iterations != b.Iterations || a.Converged != b.Converged ||
+		!a.A.Equal(b.A) || !a.B.Equal(b.B) || !a.C.Equal(b.C) ||
+		len(a.InitialErrors) != len(b.InitialErrors) || len(a.IterationErrors) != len(b.IterationErrors) {
+		return false
+	}
+	for i := range a.InitialErrors {
+		if a.InitialErrors[i] != b.InitialErrors[i] {
+			return false
+		}
+	}
+	for i := range a.IterationErrors {
+		if a.IterationErrors[i] != b.IterationErrors[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestKillAtCheckpointThenResumeBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x, _, _, _ := plantedTensor(rng, 14, 12, 10, 3, 0.3)
+	base := Options{Rank: 3, MaxIter: 6, MinIter: 6, InitialSets: 2, Seed: 21, CheckpointEvery: 1}
+
+	opt := base
+	opt.CheckpointDir = t.TempDir()
+	uninterrupted, err := Decompose(context.Background(), x, testCluster(4), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, k := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("kill after iteration %d", k), func(t *testing.T) {
+			opt := base
+			opt.CheckpointDir = t.TempDir()
+			// Kill the run right after the checkpoint for iteration k is
+			// durable: the Trace hook cancels the context, and the next
+			// stage boundary observes it.
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			opt.Trace = func(format string, args ...any) {
+				line := fmt.Sprintf(format, args...)
+				var iter, bytes int
+				if n, _ := fmt.Sscanf(line, "checkpoint: iteration %d, %d bytes", &iter, &bytes); n == 2 && iter == k {
+					cancel()
+				}
+			}
+			if _, err := Decompose(ctx, x, testCluster(4), opt); !errors.Is(err, context.Canceled) {
+				t.Fatalf("killed run returned %v, want context.Canceled", err)
+			}
+			ck, err := readCheckpoint(opt.CheckpointDir)
+			if err != nil || ck == nil || ck.Iteration != k {
+				t.Fatalf("latest checkpoint after kill: %+v, %v; want iteration %d", ck, err, k)
+			}
+
+			opt.Trace = nil
+			opt.Resume = true
+			resumed, err := Decompose(context.Background(), x, testCluster(4), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !resultsEqual(uninterrupted, resumed) {
+				t.Fatalf("resumed run differs from uninterrupted:\nuninterrupted: err=%d iters=%d errors=%v\nresumed:       err=%d iters=%d errors=%v",
+					uninterrupted.Error, uninterrupted.Iterations, uninterrupted.IterationErrors,
+					resumed.Error, resumed.Iterations, resumed.IterationErrors)
+			}
+		})
+	}
+}
+
+func TestResumeMissingCheckpointStartsFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x, _, _, _ := plantedTensor(rng, 10, 10, 10, 2, 0.3)
+	opt := Options{Rank: 2, MaxIter: 3, MinIter: 3, Seed: 5, CheckpointDir: t.TempDir(), Resume: true}
+	fresh, err := Decompose(context.Background(), x, testCluster(2), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Decompose(context.Background(), x, testCluster(2), Options{Rank: 2, MaxIter: 3, MinIter: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsEqual(fresh, plain) {
+		t.Fatal("resume from a missing checkpoint must run fresh and match a plain run")
+	}
+}
+
+func TestResumeRejectsFingerprintMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x, _, _, _ := plantedTensor(rng, 10, 10, 10, 2, 0.3)
+	dir := t.TempDir()
+	opt := Options{Rank: 2, MaxIter: 3, MinIter: 3, Seed: 5, CheckpointDir: dir}
+	if _, err := Decompose(context.Background(), x, testCluster(2), opt); err != nil {
+		t.Fatal(err)
+	}
+	opt.Seed = 6
+	opt.Resume = true
+	_, err := Decompose(context.Background(), x, testCluster(2), opt)
+	if err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("resume under a changed config returned %v, want fingerprint mismatch", err)
+	}
+}
+
+func TestResumeCompletedRunReturnsStoredResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	x, _, _, _ := plantedTensor(rng, 12, 10, 8, 2, 0.3)
+	opt := Options{Rank: 2, MaxIter: 4, MinIter: 4, Seed: 3, CheckpointDir: t.TempDir()}
+	full, err := Decompose(context.Background(), x, testCluster(2), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Resume = true
+	again, err := Decompose(context.Background(), x, testCluster(2), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsEqual(full, again) {
+		t.Fatal("resuming a completed run must return the stored result")
+	}
+	if again.Stats.Stages >= full.Stats.Stages {
+		t.Fatalf("resume of a completed run executed %d stages (full run: %d); it must skip the iterations",
+			again.Stats.Stages, full.Stats.Stages)
+	}
+}
+
+func TestCheckpointEveryKWritesFinal(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	x, _, _, _ := plantedTensor(rng, 10, 10, 10, 2, 0.3)
+	opt := Options{Rank: 2, MaxIter: 5, MinIter: 5, Seed: 3,
+		CheckpointDir: t.TempDir(), CheckpointEvery: 2}
+	res, err := Decompose(context.Background(), x, testCluster(2), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := readCheckpoint(opt.CheckpointDir)
+	if err != nil || ck == nil {
+		t.Fatalf("readCheckpoint: %v, %v", ck, err)
+	}
+	if ck.Iteration != res.Iterations {
+		t.Fatalf("final checkpoint at iteration %d, want %d: the last iteration must be durable even off the period",
+			ck.Iteration, res.Iterations)
+	}
+	if res.Stats.CheckpointBytes <= 0 {
+		t.Fatalf("CheckpointBytes = %d, want > 0", res.Stats.CheckpointBytes)
+	}
+}
+
+func FuzzCheckpointDecode(f *testing.F) {
+	f.Add(testCheckpoint().encode())
+	small := &checkpoint{Iteration: 1, PrevErr: 9, IterationErrors: []int64{9},
+		A: boolmat.NewFactor(1, 1), B: boolmat.NewFactor(1, 1), C: boolmat.NewFactor(0, 1)}
+	f.Add(small.encode())
+	f.Add([]byte("DBTFCKP\x01 garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := decodeCheckpoint(data)
+		if err != nil {
+			return
+		}
+		// A decoded checkpoint must re-encode to the identical image: the
+		// format is canonical, so decode(encode(decode(x))) cannot drift.
+		if got := ck.encode(); string(got) != string(data) {
+			t.Fatalf("decode/encode not canonical:\nin:  %x\nout: %x", data, got)
+		}
+	})
+}

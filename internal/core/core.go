@@ -98,6 +98,21 @@ type Options struct {
 	// against: every row summation then requires combining partial results
 	// across partitions through the driver.
 	Horizontal bool
+	// CheckpointDir, when non-empty, enables iteration-level durable
+	// checkpointing: after every CheckpointEvery completed iterations (and
+	// at the final one) a versioned snapshot of the factor matrices,
+	// iteration state, and RNG stream state is written atomically to
+	// CheckpointDir/CheckpointFile, so a killed run can be resumed
+	// bit-identically with Resume.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint period k in iterations. Default 1.
+	// Must be >= 1; meaningful only with CheckpointDir.
+	CheckpointEvery int
+	// Resume, when true, loads the checkpoint in CheckpointDir and
+	// continues from it instead of initializing; the checkpoint's config
+	// fingerprint must match this run's. A missing checkpoint file starts
+	// a fresh run. Requires CheckpointDir.
+	Resume bool
 	// Trace, when non-nil, receives human-readable progress lines.
 	Trace func(format string, args ...any)
 }
@@ -147,6 +162,19 @@ func (o *Options) withDefaults(x *tensor.Tensor, machines int) (Options, error) 
 	if opt.InitDensity < 0 || opt.InitDensity > 1 {
 		return opt, fmt.Errorf("core: InitDensity %v outside [0,1]", opt.InitDensity)
 	}
+	if opt.CheckpointEvery < 0 {
+		return opt, fmt.Errorf("core: CheckpointEvery %d < 0", opt.CheckpointEvery)
+	}
+	if opt.CheckpointDir == "" {
+		if opt.Resume {
+			return opt, errors.New("core: Resume requires CheckpointDir")
+		}
+		if opt.CheckpointEvery > 0 {
+			return opt, errors.New("core: CheckpointEvery requires CheckpointDir")
+		}
+	} else if opt.CheckpointEvery == 0 {
+		opt.CheckpointEvery = 1
+	}
 	return opt, nil
 }
 
@@ -195,50 +223,113 @@ func Decompose(ctx context.Context, x *tensor.Tensor, cl *cluster.Cluster, opts 
 	start := time.Now()
 	cl.ResetClock()
 	d := &decomposition{ctx: ctx, x: x, cl: cl, opt: opt, reg: newRegistries(cl.Machines())}
+
+	// Checkpointing: the fingerprint binds a checkpoint to this exact
+	// configuration and tensor, and resume loads the latest snapshot
+	// before any distributed work starts.
+	checkpointing := opt.CheckpointDir != ""
+	if checkpointing {
+		d.fp = fingerprint(x, opt, cl.Machines())
+	}
+	var resumed *checkpoint
+	if opt.Resume {
+		ck, err := readCheckpoint(opt.CheckpointDir)
+		if err != nil {
+			return nil, err
+		}
+		if ck != nil {
+			if ck.Fingerprint != d.fp {
+				return nil, fmt.Errorf("core: checkpoint fingerprint %#x does not match run fingerprint %#x (config or tensor changed)",
+					ck.Fingerprint, d.fp)
+			}
+			for _, f := range []struct {
+				name string
+				m    *boolmat.FactorMatrix
+				rows int
+			}{{"A", ck.A, i}, {"B", ck.B, j}, {"C", ck.C, k}} {
+				if f.m.Rows() != f.rows || f.m.Rank() != opt.Rank {
+					return nil, fmt.Errorf("core: checkpoint factor %s is %dx%d, want %dx%d",
+						f.name, f.m.Rows(), f.m.Rank(), f.rows, opt.Rank)
+				}
+			}
+			if ck.Iteration > opt.MaxIter {
+				return nil, fmt.Errorf("core: checkpoint iteration %d > MaxIter %d", ck.Iteration, opt.MaxIter)
+			}
+			resumed = ck
+		}
+	}
+
+	// Machine-loss recovery: when the cluster loses a machine, its share
+	// of the cached partitions is re-shipped to the survivors and its
+	// cache registry dies with it (survivors rebuild lazily on first use).
+	d.cl.OnMachineLoss(d.machineLost)
+	defer d.cl.OnMachineLoss(nil)
 	if err := d.partitionAll(); err != nil {
 		return nil, err
 	}
 
-	rng := rand.New(rand.NewSource(opt.Seed))
+	src := newCountingSource(opt.Seed)
+	rng := rand.New(src)
 	res := &Result{}
+	var a, b, c *boolmat.FactorMatrix
+	var prevErr int64
 
-	// First iteration: try L random initial sets and keep the best
-	// (Algorithm 2, lines 5-8).
-	type set struct {
-		a, b, c *boolmat.FactorMatrix
-		err     int64
+	if resumed != nil {
+		// The RNG is consumed only by initialization, which the resumed
+		// run already performed; fast-forwarding by the recorded draw
+		// count restores the identical stream state.
+		src.fastForward(resumed.RNGDraws)
+		a, b, c = resumed.A, resumed.B, resumed.C
+		prevErr = resumed.PrevErr
+		res.InitialErrors = resumed.InitialErrors
+		res.IterationErrors = resumed.IterationErrors
+		res.Iterations = resumed.Iteration
+		res.Converged = resumed.Converged
+		d.trace("resumed from checkpoint: iteration %d, error %d", res.Iterations, prevErr)
+	} else {
+		// First iteration: try L random initial sets and keep the best
+		// (Algorithm 2, lines 5-8).
+		type set struct {
+			a, b, c *boolmat.FactorMatrix
+			err     int64
+		}
+		best := set{err: math.MaxInt64}
+		for l := 0; l < opt.InitialSets; l++ {
+			ia, ib, ic := initialSet(rng, x, opt)
+			s := set{a: ia, b: ib, c: ic}
+			if err := d.updateFactors(s.a, s.b, s.c); err != nil {
+				return nil, err
+			}
+			e, err := d.totalError(s.a, s.b, s.c)
+			if err != nil {
+				return nil, err
+			}
+			s.err = e
+			res.InitialErrors = append(res.InitialErrors, e)
+			d.trace("initial set %d/%d: error %d", l+1, opt.InitialSets, e)
+			if e < best.err {
+				best = s
+			}
+		}
+		a, b, c, prevErr = best.a, best.b, best.c, best.err
+		if opt.InitialSets > 1 {
+			// Losing sets' caches reference discarded factor matrices; drop
+			// them. (With a single set the registry's entries stay live: the
+			// cache totalError built over b serves iteration 2's A-update.)
+			for _, r := range d.reg {
+				r.clear()
+			}
+		}
+		res.Iterations = 1
+		res.IterationErrors = append(res.IterationErrors, prevErr)
+		if checkpointing && (1%opt.CheckpointEvery == 0 || opt.MaxIter == 1) {
+			if err := d.writeCheckpointStage(res, a, b, c, prevErr, src.n); err != nil {
+				return nil, err
+			}
+		}
 	}
-	best := set{err: math.MaxInt64}
-	for l := 0; l < opt.InitialSets; l++ {
-		ia, ib, ic := initialSet(rng, x, opt)
-		s := set{a: ia, b: ib, c: ic}
-		if err := d.updateFactors(s.a, s.b, s.c); err != nil {
-			return nil, err
-		}
-		e, err := d.totalError(s.a, s.b, s.c)
-		if err != nil {
-			return nil, err
-		}
-		s.err = e
-		res.InitialErrors = append(res.InitialErrors, e)
-		d.trace("initial set %d/%d: error %d", l+1, opt.InitialSets, e)
-		if e < best.err {
-			best = s
-		}
-	}
-	a, b, c, prevErr := best.a, best.b, best.c, best.err
-	if opt.InitialSets > 1 {
-		// Losing sets' caches reference discarded factor matrices; drop
-		// them. (With a single set the registry's entries stay live: the
-		// cache totalError built over b serves iteration 2's A-update.)
-		for _, r := range d.reg {
-			r.clear()
-		}
-	}
-	res.Iterations = 1
-	res.IterationErrors = append(res.IterationErrors, prevErr)
 
-	for t := 2; t <= opt.MaxIter; t++ {
+	for t := res.Iterations + 1; t <= opt.MaxIter && !res.Converged; t++ {
 		if err := d.updateFactors(a, b, c); err != nil {
 			return nil, err
 		}
@@ -250,11 +341,14 @@ func Decompose(ctx context.Context, x *tensor.Tensor, cl *cluster.Cluster, opts 
 		res.IterationErrors = append(res.IterationErrors, e)
 		d.trace("iteration %d: error %d", t, e)
 		if t >= opt.MinIter && prevErr-e <= opt.Tolerance {
-			prevErr = e
 			res.Converged = true
-			break
 		}
 		prevErr = e
+		if checkpointing && (t%opt.CheckpointEvery == 0 || res.Converged || t == opt.MaxIter) {
+			if err := d.writeCheckpointStage(res, a, b, c, prevErr, src.n); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	res.A, res.B, res.C = a, b, c
@@ -349,6 +443,65 @@ type decomposition struct {
 	// reg[m] shares row-summation caches among the partitions placed on
 	// machine m (Lemmas 4 and 5 count the build once per machine).
 	reg []*machineRegistry
+	// fp is the config+tensor fingerprint binding checkpoints to this run;
+	// zero when checkpointing is disabled.
+	fp uint64
+}
+
+// machineLost is the cluster's machine-loss callback (invoked at stage
+// boundaries, before any of the stage's tasks run): machine m's cache
+// registry died with the machine — survivors rebuild their own lazily on
+// first use — and m's share of every mode's cached partitions is
+// re-shipped to the survivors, charged as shuffle traffic. During the
+// partitioning stage itself the unfoldings are not distributed yet and
+// there is nothing to re-ship.
+func (d *decomposition) machineLost(m int) {
+	d.reg[m].clear()
+	var bytes int64
+	for _, px := range d.px {
+		if px == nil {
+			continue
+		}
+		for pi := range px.Parts {
+			if pi%d.cl.Machines() == m {
+				bytes += px.ReshipBytes(pi)
+			}
+		}
+	}
+	if bytes > 0 {
+		d.cl.Shuffle(bytes)
+	}
+	d.trace("machine %d lost: re-shipping %d bytes to survivors", m, bytes)
+}
+
+// writeCheckpointStage durably snapshots the run at the just-completed
+// iteration boundary. The write is driver-side disk I/O: its wall-clock
+// cost is charged through the cluster's Driver section and its size is
+// recorded in Stats.CheckpointBytes.
+func (d *decomposition) writeCheckpointStage(res *Result, a, b, c *boolmat.FactorMatrix, prevErr int64, rngDraws uint64) error {
+	ck := &checkpoint{
+		Fingerprint:     d.fp,
+		Iteration:       res.Iterations,
+		Converged:       res.Converged,
+		RNGDraws:        rngDraws,
+		PrevErr:         prevErr,
+		InitialErrors:   res.InitialErrors,
+		IterationErrors: res.IterationErrors,
+		A:               a, B: b, C: c,
+	}
+	var bytes int64
+	var werr error
+	if err := d.cl.Driver(d.ctx, func() {
+		bytes, werr = writeCheckpoint(d.opt.CheckpointDir, ck)
+	}); err != nil {
+		return err
+	}
+	if werr != nil {
+		return fmt.Errorf("core: checkpoint at iteration %d: %w", res.Iterations, werr)
+	}
+	d.cl.RecordCheckpoint(bytes)
+	d.trace("checkpoint: iteration %d, %d bytes", res.Iterations, bytes)
+	return nil
 }
 
 func (d *decomposition) trace(format string, args ...any) {
@@ -380,7 +533,9 @@ func (d *decomposition) partitionAll() error {
 // broadcast to every machine once per call (Lemma 7).
 func (d *decomposition) updateFactors(a, b, c *boolmat.FactorMatrix) error {
 	bytes := int64(a.Rows()+b.Rows()+c.Rows()) * int64(d.opt.Rank) / 8
-	d.cl.Broadcast(bytes)
+	// BroadcastState (not plain Broadcast): the factor matrices are the
+	// working set a machine must re-fetch to recover from a machine loss.
+	d.cl.BroadcastState(bytes)
 	// X₍₁₎ ≈ A ∘ (C ⊙ B)ᵀ: PVM blocks indexed by rows of C, cache over B.
 	if err := d.updateFactor(d.px[0], a, c, b); err != nil {
 		return err

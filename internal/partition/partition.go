@@ -233,6 +233,14 @@ type Partitioned struct {
 	ShuffleBytes int64
 }
 
+// ReshipBytes estimates the data volume of re-shipping partition pi to a
+// surviving machine after its home machine is lost: the partition's share
+// of ShuffleBytes — 12 bytes per nonzero plus the partition's own
+// row-pointer overhead.
+func (p *Partitioned) ReshipBytes(pi int) int64 {
+	return int64(p.Parts[pi].NNZ())*12 + int64(p.NumRows)*4
+}
+
 // Build vertically partitions an unfolded tensor into n partitions and
 // splits each partition into PVM-aligned blocks (Algorithm 3). n is capped
 // at the column count so every partition is nonempty; at least one
