@@ -1,0 +1,109 @@
+// Command dbtfvet runs the repository's domain-specific static-analysis
+// suite (internal/analysis): determinism, lock discipline, kernel
+// contracts, and durable-write error hygiene. It is the multichecker CI
+// runs as a required job next to go vet:
+//
+//	go vet ./... && go run ./cmd/dbtfvet ./...
+//
+// or, with -govet, dbtfvet chains the stock passes itself:
+//
+//	go run ./cmd/dbtfvet -govet ./...
+//
+// Patterns follow the go tool's shape ("./...", "./internal/cluster",
+// "internal/core/..."); the default is "./...". Each analyzer carries its
+// own package scope (see -list), so running the full tree is always safe.
+// Exit status: 0 clean, 1 findings, 2 usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"dbtf/internal/analysis"
+)
+
+func main() {
+	govet := flag.Bool("govet", false, "also run the stock go vet passes on the same patterns")
+	list := flag.Bool("list", false, "list the suite's analyzers and their package scopes, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dbtfvet [-govet] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			scope := "all packages"
+			if len(a.Scope) > 0 {
+				scope = strings.Join(a.Scope, ", ")
+			}
+			fmt.Printf("%-16s %s\n%16s scope: %s\n", a.Name, a.Doc, "", scope)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	os.Exit(run(patterns, *govet))
+}
+
+func run(patterns []string, govet bool) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbtfvet:", err)
+		return 2
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbtfvet:", err)
+		return 2
+	}
+	pkgs, err := analysis.Load(root, patterns, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbtfvet:", err)
+		return 2
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, a := range analysis.Analyzers() {
+			if !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			diags, err := analysis.Run(a, pkg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dbtfvet:", err)
+				return 2
+			}
+			for _, d := range diags {
+				// Report module-relative paths so output is stable across
+				// checkouts.
+				if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+					d.Pos.Filename = filepath.ToSlash(rel)
+				}
+				fmt.Println(d)
+				findings++
+			}
+		}
+	}
+	if govet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Dir = cwd
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			if _, ok := err.(*exec.ExitError); !ok {
+				fmt.Fprintln(os.Stderr, "dbtfvet: go vet:", err)
+				return 2
+			}
+			findings++
+		}
+	}
+	if findings > 0 {
+		return 1
+	}
+	return 0
+}

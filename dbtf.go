@@ -178,15 +178,15 @@ func Factorize(ctx context.Context, x *Tensor, opt Options) (*Result, error) {
 		Faults:     opt.Faults,
 	})
 	res, err := core.Decompose(ctx, x, cl, core.Options{
-		Rank:        opt.Rank,
-		MaxIter:     opt.MaxIter,
-		MinIter:     opt.MinIter,
-		InitialSets: opt.InitialSets,
-		Partitions:  opt.Partitions,
-		GroupBits:   opt.CacheGroupBits,
-		Tolerance:   opt.Tolerance,
-		Init:        opt.Init,
-		InitDensity: opt.InitDensity,
+		Rank:            opt.Rank,
+		MaxIter:         opt.MaxIter,
+		MinIter:         opt.MinIter,
+		InitialSets:     opt.InitialSets,
+		Partitions:      opt.Partitions,
+		GroupBits:       opt.CacheGroupBits,
+		Tolerance:       opt.Tolerance,
+		Init:            opt.Init,
+		InitDensity:     opt.InitDensity,
 		Seed:            opt.Seed,
 		CheckpointDir:   opt.CheckpointDir,
 		CheckpointEvery: opt.CheckpointEvery,

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one directory of parsed Go source, the unit an Analyzer
+// runs over.
+type Package struct {
+	// Path is the module-relative slash path ("." for the module root).
+	Path string
+	// Dir is the absolute directory.
+	Dir string
+	// Fset positions are shared across the load.
+	Fset *token.FileSet
+	// Files are the parsed non-test files (and test files when the load
+	// included them), sorted by file name.
+	Files []*ast.File
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Load parses the packages selected by patterns, resolved against root
+// (the module root). Patterns follow the go tool's shape: "./..." and
+// "dir/..." select a subtree, anything else names one directory. Vendored
+// and testdata directories and (unless includeTests) _test.go files are
+// skipped. Directories without buildable Go files are silently dropped.
+func Load(root string, patterns []string, includeTests bool) ([]*Package, error) {
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		switch {
+		case pat == "./..." || pat == "...":
+			if err := walkPackageDirs(root, dirs); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := filepath.Join(root, strings.TrimSuffix(pat, "/..."))
+			if err := walkPackageDirs(base, dirs); err != nil {
+				return nil, err
+			}
+		default:
+			dirs[filepath.Join(root, pat)] = true
+		}
+	}
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, dir := range sorted {
+		pkg, err := loadDir(fset, root, dir, includeTests)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// walkPackageDirs adds every package directory under base to dirs,
+// skipping testdata, hidden, and vendor directories the go tool would
+// skip.
+func walkPackageDirs(base string, dirs map[string]bool) error {
+	return filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs[path] = true
+		return nil
+	})
+}
+
+// loadDir parses one directory into a Package; nil when it holds no
+// matching Go files.
+func loadDir(fset *token.FileSet, root, dir string, includeTests bool) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		Path:  filepath.ToSlash(rel),
+		Dir:   dir,
+		Fset:  fset,
+		Files: files,
+	}, nil
+}

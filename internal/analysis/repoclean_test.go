@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"os"
+	"testing"
+)
+
+// TestRepoClean runs every registered analyzer over the entire module and
+// asserts zero diagnostics. This is the in-process equivalent of
+// `go run ./cmd/dbtfvet ./...` exiting 0, so a change that introduces a
+// finding (or breaks an annotation) fails `go test ./...` directly rather
+// than only the CI lint job.
+func TestRepoClean(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := FindModuleRoot(wd)
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	pkgs, err := Load(root, []string{"./..."}, false)
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded from module root")
+	}
+	for _, a := range Analyzers() {
+		for _, pkg := range pkgs {
+			if !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			diags, err := Run(a, pkg)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s", d)
+			}
+		}
+	}
+}

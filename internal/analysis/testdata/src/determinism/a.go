@@ -1,0 +1,87 @@
+// Package fixtures seeds the determinism analyzer's true positives and
+// accepted negatives. The file parses but is never compiled.
+package fixtures
+
+import (
+	"math/rand"
+	"time"
+)
+
+type engine struct {
+	now     func() time.Time
+	entries map[string]int
+}
+
+// badWallClock reads wall clocks three ways.
+func badWallClock(e *engine) time.Duration {
+	start := time.Now() // want `time\.Now reads the wall clock`
+	_ = start
+	time.Sleep(time.Millisecond)  // want `time\.Sleep reads the wall clock`
+	return time.Since(time.Time{}) // want `time\.Since reads the wall clock`
+}
+
+// badClockValue references time.Now as a value, the injected-clock
+// default pattern, without the annotation.
+func badClockValue() *engine {
+	return &engine{now: time.Now} // want `time\.Now reads the wall clock`
+}
+
+// goodClockValue carries the sanctioned annotation.
+func goodClockValue() *engine {
+	//dbtf:allow-nondeterministic default wall clock; tests inject a deterministic one
+	return &engine{now: time.Now}
+}
+
+// badBareEscape has the escape hatch without a reason, which is itself a
+// diagnostic.
+func badBareEscape() time.Time {
+	//dbtf:allow-nondeterministic
+	return time.Now() // want `requires a reason`
+}
+
+// badGlobalRand draws from the process-global generator.
+func badGlobalRand(n int) int {
+	rand.Shuffle(n, func(i, j int) {}) // want `global math/rand\.Shuffle bypasses the seeded source`
+	return rand.Intn(n)                // want `global math/rand\.Intn bypasses the seeded source`
+}
+
+// goodSeededRand goes through a seeded generator: rand.New and
+// rand.NewSource are the sanctioned route and are not flagged.
+func goodSeededRand(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// badMapRange iterates maps in order-sensitive positions.
+func badMapRange(e *engine) int {
+	total := 0
+	for _, v := range e.entries { // want `map iteration order is nondeterministic`
+		total += v
+	}
+	local := make(map[int]bool)
+	for k := range local { // want `map iteration order is nondeterministic`
+		total += k
+	}
+	lit := map[string]int{}
+	for _, v := range lit { // want `map iteration order is nondeterministic`
+		total += v
+	}
+	return total
+}
+
+// goodMapRange is order-independent and says why.
+func goodMapRange(e *engine) {
+	//dbtf:allow-nondeterministic all matching keys are deleted; order-independent
+	for k := range e.entries {
+		delete(e.entries, k)
+	}
+}
+
+// goodSliceRange ranges a slice, which is ordered and never flagged.
+func goodSliceRange(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,63 @@
+// Package fixtures seeds the errcheck analyzer's true positives and
+// accepted negatives. The file parses but is never compiled.
+package fixtures
+
+import "os"
+
+// badDropAll drops every durable-path error.
+func badDropAll(path string) {
+	f, _ := os.Create(path)
+	f.Sync()                        // want `result of Sync is discarded on the durable write path`
+	f.Close()                       // want `result of Close is discarded on the durable write path`
+	os.Rename(path, path+".bak")    // want `result of Rename is discarded on the durable write path`
+	_ = os.Remove(path)             // want `result of Remove is discarded on the durable write path`
+}
+
+// goodChecked propagates every error.
+func goodChecked(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(path, path+".bak")
+}
+
+// goodBestEffortCleanup annotates the already-failing path.
+func goodBestEffortCleanup(path string, f *os.File) error {
+	//dbtf:allow-unchecked best-effort cleanup on an already-failing path
+	f.Close()
+	//dbtf:allow-unchecked best-effort cleanup on an already-failing path
+	os.Remove(path)
+	return nil
+}
+
+// badBareEscape has the escape hatch without a reason.
+func badBareEscape(f *os.File) {
+	//dbtf:allow-unchecked
+	f.Close() // want `requires a reason`
+}
+
+// goodDeferredClose is the idiomatic read path and is exempt.
+func goodDeferredClose(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	_, err = f.Read(buf)
+	return buf, err
+}
+
+// goodUnrelatedCall is not a durable-path operation.
+func goodUnrelatedCall(xs []int) {
+	process(xs)
+}
+
+func process([]int) {}

@@ -1,0 +1,79 @@
+// Package fixtures seeds the kernelcontract analyzer's true positives and
+// accepted negatives. The file parses but is never compiled; the bitvec
+// import resolves by path string only.
+package fixtures
+
+import (
+	"fmt"
+
+	"dbtf/internal/bitvec"
+)
+
+// badNoWidthCheck calls a word kernel on operands no check relates.
+func badNoWidthCheck(a, b []uint64) int {
+	return bitvec.AndCountWords(a, b) // want `call to bitvec\.AndCountWords without a visible operand-width check`
+}
+
+// goodLenCheck establishes the contract with a len comparison first.
+func goodLenCheck(a, b []uint64) int {
+	if len(a) != len(b) {
+		panic("width mismatch")
+	}
+	return bitvec.XorCountWords(a, b)
+}
+
+type vec struct {
+	n     int
+	words []uint64
+}
+
+// goodFieldCheck uses the bitvec-internal .n idiom.
+func goodFieldCheck(v, w *vec) int {
+	if v.n != w.n {
+		panic("length mismatch")
+	}
+	return bitvec.AndNotCountWords(v.words, w.words)
+}
+
+// goodAnnotated asserts a structural invariant the analyzer cannot see.
+func goodAnnotated(row, w1, w0 []uint64) int {
+	//dbtf:samewidth row stride equals the delta width by construction
+	return bitvec.AndAndNotCountWords(row, w1, w0)
+}
+
+// badBareAnnotation has the assertion without a reason.
+func badBareAnnotation(row, w1, w0 []uint64, occ [][]uint64) (int, int) {
+	//dbtf:samewidth
+	return bitvec.GainCountsWords(row, w1, w0, occ) // want `requires a reason`
+}
+
+// hotCount is allocation-free, as annotated; the panic path may format.
+//
+//dbtf:noalloc
+func hotCount(a, b []uint64) int {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mismatch %d != %d", len(a), len(b)))
+	}
+	c := 0
+	for i, x := range a {
+		c += int(x & b[i])
+	}
+	return c
+}
+
+// leakyCount claims noalloc but allocates four ways.
+//
+//dbtf:noalloc
+func leakyCount(a []uint64) []uint64 {
+	out := make([]uint64, 0, len(a)) // want `make in leakyCount`
+	tmp := []uint64{1, 2}            // want `composite literal in leakyCount`
+	out = append(out, tmp...)        // want `append in leakyCount`
+	f := func() {}                   // want `function literal in leakyCount`
+	f()
+	return out
+}
+
+// unannotated may allocate freely.
+func unannotated(n int) []uint64 {
+	return make([]uint64, n)
+}

@@ -19,6 +19,8 @@ import (
 
 // AndNotCount returns |v &^ w|, the number of bits set in v but not in w.
 // The lengths must match.
+//
+//dbtf:noalloc
 func (v *BitVec) AndNotCount(w *BitVec) int {
 	if v.n != w.n {
 		panic(fmt.Sprintf("bitvec: AndNotCount length mismatch %d != %d", v.n, w.n))
@@ -28,6 +30,8 @@ func (v *BitVec) AndNotCount(w *BitVec) int {
 
 // OrAndCount returns |(v ∨ w) ∧ u| without materializing v ∨ w. The
 // lengths must match.
+//
+//dbtf:noalloc
 func (v *BitVec) OrAndCount(w, u *BitVec) int {
 	if v.n != w.n || v.n != u.n {
 		panic(fmt.Sprintf("bitvec: OrAndCount length mismatch %d, %d, %d", v.n, w.n, u.n))
@@ -41,6 +45,8 @@ func (v *BitVec) OrAndCount(w, u *BitVec) int {
 
 // OnesCountRange returns the number of set bits in [lo, hi), a range
 // popcount. It lets sliced views be weighed without being materialized.
+//
+//dbtf:noalloc
 func (v *BitVec) OnesCountRange(lo, hi int) int {
 	if lo < 0 || hi > v.n || lo > hi {
 		panic(fmt.Sprintf("bitvec: OnesCountRange [%d,%d) out of range of %d bits", lo, hi, v.n))
@@ -65,6 +71,8 @@ func (v *BitVec) OnesCountRange(lo, hi int) int {
 }
 
 // AndCountWords returns popcount(a ∧ b) over raw word slices.
+//
+//dbtf:noalloc
 func AndCountWords(a, b []uint64) int {
 	c := 0
 	for i, x := range a {
@@ -74,6 +82,8 @@ func AndCountWords(a, b []uint64) int {
 }
 
 // AndNotCountWords returns popcount(a &^ b) over raw word slices.
+//
+//dbtf:noalloc
 func AndNotCountWords(a, b []uint64) int {
 	c := 0
 	for i, x := range a {
@@ -85,6 +95,8 @@ func AndNotCountWords(a, b []uint64) int {
 // AndAndNotCountWords returns popcount(x ∧ (a &^ b)) over raw word
 // slices: the overlap of x with the region a adds beyond b. This is the
 // dense single-group delta kernel.
+//
+//dbtf:noalloc
 func AndAndNotCountWords(x, a, b []uint64) int {
 	c := 0
 	for i, w := range x {
@@ -95,6 +107,8 @@ func AndAndNotCountWords(x, a, b []uint64) int {
 
 // XorCountWords returns popcount(a ⊕ b) over raw word slices: the Hamming
 // distance, i.e. the Boolean reconstruction error of a dense row.
+//
+//dbtf:noalloc
 func XorCountWords(a, b []uint64) int {
 	c := 0
 	for i, x := range a {
@@ -106,6 +120,8 @@ func XorCountWords(a, b []uint64) int {
 // GainCountsWords returns (|D|, |x ∧ D|) where D = (w1 &^ w0) &^ occ[0]
 // &^ occ[1] ... — the occluded gain region of a multi-group delta. x may
 // be nil, in which case only |D| is computed and the second result is 0.
+//
+//dbtf:noalloc
 func GainCountsWords(x, w1, w0 []uint64, occ [][]uint64) (gain, overlap int) {
 	for i, hi := range w1 {
 		d := hi &^ w0[i]

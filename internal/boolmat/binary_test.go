@@ -1,0 +1,150 @@
+package boolmat
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []*FactorMatrix{
+		NewFactor(0, 0),
+		NewFactor(0, 5),
+		NewFactor(3, 0),
+		NewFactor(4, 1),
+		RandomFactor(rng, 17, 9, 0.4),
+		RandomFactor(rng, 1, MaxRank, 0.5),
+		RandomFactor(rng, 100, 63, 0.2),
+	}
+	for _, m := range cases {
+		data := m.AppendBinary(nil)
+		if want := factorHeaderLen + 8*m.Rows(); len(data) != want {
+			t.Errorf("%dx%d: encoded %d bytes, want %d", m.Rows(), m.Rank(), len(data), want)
+		}
+		got, rest, err := DecodeBinaryFactor(data)
+		if err != nil {
+			t.Fatalf("%dx%d: decode: %v", m.Rows(), m.Rank(), err)
+		}
+		if len(rest) != 0 {
+			t.Errorf("%dx%d: %d unconsumed bytes", m.Rows(), m.Rank(), len(rest))
+		}
+		if !got.Equal(m) {
+			t.Errorf("%dx%d: decoded matrix differs", m.Rows(), m.Rank())
+		}
+	}
+}
+
+func TestBinaryAppendsToExisting(t *testing.T) {
+	m := NewFactor(2, 3)
+	m.SetRowMask(0, 0b101)
+	prefix := []byte("prefix")
+	data := m.AppendBinary(append([]byte(nil), prefix...))
+	if !bytes.HasPrefix(data, prefix) {
+		t.Fatal("AppendBinary clobbered the existing slice contents")
+	}
+	got, rest, err := DecodeBinaryFactor(data[len(prefix):])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 || !got.Equal(m) {
+		t.Error("round-trip after prefix failed")
+	}
+}
+
+func TestBinaryTrailingBytesPassThrough(t *testing.T) {
+	m := NewFactor(2, 4)
+	m.SetRowMask(1, 0b1111)
+	trailer := []byte{0xde, 0xad, 0xbe, 0xef}
+	data := append(m.AppendBinary(nil), trailer...)
+	got, rest, err := DecodeBinaryFactor(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rest, trailer) {
+		t.Errorf("rest = %x, want %x", rest, trailer)
+	}
+	if !got.Equal(m) {
+		t.Error("decoded matrix differs")
+	}
+}
+
+func TestBinaryConsecutiveFactors(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := RandomFactor(rng, 5, 8, 0.5)
+	b := RandomFactor(rng, 9, 3, 0.5)
+	data := b.AppendBinary(a.AppendBinary(nil))
+	gotA, rest, err := DecodeBinaryFactor(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, rest, err := DecodeBinaryFactor(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 || !gotA.Equal(a) || !gotB.Equal(b) {
+		t.Error("consecutive factor decode failed")
+	}
+}
+
+func TestBinaryDecodeErrors(t *testing.T) {
+	valid := func() []byte {
+		m := NewFactor(2, 3)
+		m.SetRowMask(0, 0b110)
+		return m.AppendBinary(nil)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"nil input", nil, "truncated"},
+		{"short header", valid()[:factorHeaderLen-1], "truncated"},
+		{"missing row", valid()[:factorHeaderLen+7], "truncated"},
+		{"rank too large", func() []byte {
+			d := valid()
+			binary.LittleEndian.PutUint32(d[4:], MaxRank+1)
+			return d
+		}(), "rank"},
+		{"mask beyond rank", func() []byte {
+			d := valid()
+			binary.LittleEndian.PutUint64(d[factorHeaderLen:], 1<<3)
+			return d
+		}(), "bits beyond rank"},
+		{"huge row count", func() []byte {
+			d := valid()
+			binary.LittleEndian.PutUint32(d, 1<<30)
+			return d
+		}(), "truncated"},
+	}
+	for _, tc := range cases {
+		m, rest, err := DecodeBinaryFactor(tc.data)
+		if err == nil {
+			t.Errorf("%s: decode succeeded, want error containing %q", tc.name, tc.want)
+			continue
+		}
+		if m != nil || rest != nil {
+			t.Errorf("%s: non-nil result alongside error", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestBinaryMaxRankMaskAllowed(t *testing.T) {
+	// At rank 64 every bit of the u64 mask is in range; the beyond-rank
+	// check must not fire (mask>>64 would be UB-adjacent in other
+	// languages and is guarded by the rank < MaxRank condition here).
+	m := NewFactor(1, MaxRank)
+	m.SetRowMask(0, ^uint64(0))
+	got, rest, err := DecodeBinaryFactor(m.AppendBinary(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 || got.RowMask(0) != ^uint64(0) {
+		t.Error("full-width mask round-trip failed")
+	}
+}

@@ -94,6 +94,7 @@ func (m *FactorMatrix) WriteFile(path string) error {
 		return err
 	}
 	if _, err := m.WriteTo(f); err != nil {
+		//dbtf:allow-unchecked best-effort cleanup; the write error is propagated
 		f.Close()
 		return err
 	}

@@ -174,27 +174,38 @@ type Cluster struct {
 	mu sync.Mutex
 	// st accumulates every cumulative counter; Stats copies it under mu
 	// so snapshots are torn-free.
-	st       Stats
-	simNanos int64 // simulated elapsed time
+	//dbtf:guardedby mu
+	st Stats
+	// simNanos is the simulated elapsed time.
+	//dbtf:guardedby mu
+	simNanos int64
 	// stage-local traffic snapshots, used to price the network cost of
 	// the stage that is about to run, per traffic class.
+	//dbtf:guardedby mu
 	lastShuffled, lastBroadcast, lastCollected int64
 	// liveBroadcast is the per-machine broadcast working set in bytes
 	// (see BroadcastState): what a machine must re-fetch to rejoin the
 	// stage pipeline after a loss.
+	//dbtf:guardedby mu
 	liveBroadcast int64
 	// recoveryNanos accumulates single-link recovery transfer time to be
 	// charged to the next stage's network cost.
+	//dbtf:guardedby mu
 	recoveryNanos int64
 	// alive[m] reports whether logical machine m is in service; diedAt[m]
 	// is the stage at which a dead machine was lost. At least one machine
 	// is always alive.
-	alive       []bool
-	aliveCount  int
-	diedAt      []int64
+	//dbtf:guardedby mu
+	alive []bool
+	//dbtf:guardedby mu
+	aliveCount int
+	//dbtf:guardedby mu
+	diedAt []int64
+	//dbtf:guardedby mu
 	lossHandler func(machine int)
 	// pendingRecoveries counts machine losses not yet absorbed by a
 	// successfully completed stage.
+	//dbtf:guardedby mu
 	pendingRecoveries int64
 }
 
@@ -245,6 +256,7 @@ func New(cfg Config) *Cluster {
 	return &Cluster{
 		machines: cfg.Machines, parallelism: p, network: net,
 		maxRetries: retries, retryBackoff: backoff, faults: cfg.Faults,
+		//dbtf:allow-nondeterministic default clock measures real task durations; tests inject a deterministic one
 		now:   time.Now,
 		alive: alive, aliveCount: cfg.Machines, diedAt: make([]int64, cfg.Machines),
 	}
@@ -382,13 +394,19 @@ type stageState struct {
 
 	backups sync.WaitGroup // speculative copies in flight; joined before the stage returns
 
-	mu         sync.Mutex
-	perMachine []int64 // summed simulated task nanos per logical machine
-	retries    int64
-	injected   int64
-	specWins   int64
+	mu sync.Mutex
+	// perMachine sums simulated task nanos per logical machine.
+	//dbtf:guardedby mu
+	perMachine []int64
+	//dbtf:guardedby mu
+	retries int64
+	//dbtf:guardedby mu
+	injected int64
+	//dbtf:guardedby mu
+	specWins int64
+	//dbtf:guardedby mu
 	specLaunch int64
-	losses     int // machine losses injected at this stage's boundary
+	losses     int // machine losses injected at this stage's boundary; written only before the stage starts
 }
 
 func (st *stageState) charge(machine int, nanos int64) {
@@ -462,6 +480,8 @@ func (c *Cluster) beginStage(ctx context.Context, n int, fn func(int) error) (in
 // one critical section: makespan, network cost (including pending recovery
 // transfers), and every in-stage fault counter. ok marks a stage that
 // completed without error; it absorbs pending machine-loss recoveries.
+//
+//dbtf:allow-unguarded st: all workers and backups are joined before endStage runs, so st is no longer shared
 func (c *Cluster) endStage(st *stageState, ok bool) {
 	// All workers and backups are joined; st is no longer shared.
 	var makespan, taskSum int64

@@ -217,7 +217,9 @@ func writeCheckpoint(dir string, ck *checkpoint) (int64, error) {
 	}
 	tmp := f.Name()
 	cleanup := func(err error) (int64, error) {
+		//dbtf:allow-unchecked best-effort cleanup; the write already failed and err is propagated
 		f.Close()
+		//dbtf:allow-unchecked best-effort cleanup; the write already failed and err is propagated
 		os.Remove(tmp)
 		return 0, err
 	}
@@ -228,18 +230,25 @@ func writeCheckpoint(dir string, ck *checkpoint) (int64, error) {
 		return cleanup(err)
 	}
 	if err := f.Close(); err != nil {
+		//dbtf:allow-unchecked best-effort cleanup; the close error is propagated
 		os.Remove(tmp)
 		return 0, err
 	}
 	if err := os.Rename(tmp, filepath.Join(dir, CheckpointFile)); err != nil {
+		//dbtf:allow-unchecked best-effort cleanup; the rename error is propagated
 		os.Remove(tmp)
 		return 0, err
 	}
 	if d, err := os.Open(dir); err == nil {
-		err = d.Sync()
-		d.Close()
-		if err != nil {
-			return 0, err
+		// The directory fsync makes the rename itself durable; a dropped
+		// close error here could mask a failed metadata flush (dbtfvet
+		// errcheck finding), so it is folded into the sync error.
+		serr := d.Sync()
+		if cerr := d.Close(); serr == nil {
+			serr = cerr
+		}
+		if serr != nil {
+			return 0, serr
 		}
 	}
 	return int64(len(data)), nil

@@ -220,6 +220,7 @@ func Decompose(ctx context.Context, x *tensor.Tensor, cl *cluster.Cluster, opts 
 		return nil, err
 	}
 
+	//dbtf:allow-nondeterministic wall-clock reporting only (Result.WallTime); no result depends on it
 	start := time.Now()
 	cl.ResetClock()
 	d := &decomposition{ctx: ctx, x: x, cl: cl, opt: opt, reg: newRegistries(cl.Machines())}
@@ -355,6 +356,7 @@ func Decompose(ctx context.Context, x *tensor.Tensor, cl *cluster.Cluster, opts 
 	res.Error = prevErr
 	res.Stats = cl.Stats()
 	res.SimTime = cl.SimElapsed()
+	//dbtf:allow-nondeterministic wall-clock reporting only (Result.WallTime); no result depends on it
 	res.WallTime = time.Since(start)
 	return res, nil
 }

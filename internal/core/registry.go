@@ -22,7 +22,8 @@ import (
 // goroutine pool is decoupled from the machine count), so the registry is
 // internally synchronized; cache contents are immutable once built.
 type machineRegistry struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	//dbtf:guardedby mu
 	entries map[registryKey]*machineCache
 }
 
@@ -41,7 +42,8 @@ type machineCache struct {
 	build sync.Once
 	full  *sumcache.Cache
 
-	mu     sync.Mutex
+	mu sync.Mutex
+	//dbtf:guardedby mu
 	slices map[sliceRange]*sumcache.Cache
 }
 
@@ -64,6 +66,7 @@ func (r *machineRegistry) cacheFor(ms *boolmat.FactorMatrix, groupBits int) *mac
 	r.mu.Lock()
 	mc, ok := r.entries[key]
 	if !ok {
+		//dbtf:allow-nondeterministic every key matching the stale matrix is deleted; order-independent
 		for k := range r.entries {
 			if k.m == ms {
 				delete(r.entries, k)

@@ -51,6 +51,8 @@ func (d *decomposition) newColumnTask(pi int, part *partition.Partition, a, mf, 
 // lacks bit c reconstruct identically under both candidates and are
 // skipped; so are rows whose delta region is empty (SumDelta decides that
 // from two cached popcounts, without touching any vector).
+//
+//dbtf:noalloc
 func (t *columnTask) evalColumn(c int) {
 	bit := uint64(1) << uint(c)
 	for r := range t.deltas {
@@ -82,6 +84,8 @@ func (t *columnTask) evalColumn(c int) {
 // evaluated in full. It is retained as the ablation of Section III-C and
 // as the referee the differential tests compare the delta kernels
 // against.
+//
+//dbtf:noalloc
 func (t *columnTask) evalBlockNaive(bi int, b *partition.Block, bit, kMask uint64) {
 	sm := t.summers[bi]
 	scratch := t.scratch[bi]

@@ -137,3 +137,58 @@ func TestF1Harmonic(t *testing.T) {
 		t.Fatalf("F1(1,0.5) = %v", got)
 	}
 }
+
+func TestFactorSimilarityZeroRank(t *testing.T) {
+	z := boolmat.NewFactor(5, 0)
+	if got := FactorSimilarity(z, z, z, z, z, z); got != 1 {
+		t.Fatalf("zero-rank similarity %v, want 1 (empty factorizations are identical)", got)
+	}
+}
+
+func TestPrecisionRecallEmptyTensor(t *testing.T) {
+	// Empty reference, nonzero reconstruction: every reconstructed cell is
+	// a false positive (precision 0) while recall's 0/0 convention is 1.
+	x := tensor.New(2, 2, 2)
+	one := boolmat.NewFactor(2, 1)
+	one.Set(0, 0, true)
+	p, r := PrecisionRecall(x, one, one, one)
+	if p != 0 || r != 1 {
+		t.Fatalf("empty tensor: precision %v recall %v, want 0/1", p, r)
+	}
+}
+
+func TestPrecisionRecallBothEmpty(t *testing.T) {
+	x := tensor.New(3, 3, 3)
+	zero := boolmat.NewFactor(3, 2)
+	p, r := PrecisionRecall(x, zero, zero, zero)
+	if p != 1 || r != 1 {
+		t.Fatalf("both empty: precision %v recall %v, want 1/1", p, r)
+	}
+	if F1(p, r) != 1 {
+		t.Fatalf("F1(1,1) = %v", F1(p, r))
+	}
+}
+
+func TestJaccardLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	jaccard(boolmat.NewFactor(3, 1), 0, boolmat.NewFactor(4, 1), 0)
+}
+
+func TestFactorSimilarityGreedyValue(t *testing.T) {
+	// Rank 2: component 0 of the estimate matches component 1 of the
+	// reference exactly, the remaining pair is disjoint. Greedy matching
+	// takes the exact pair first, so the mean is (1 + 0) / 2.
+	ref := boolmat.NewFactor(4, 2)
+	ref.Set(0, 0, true)
+	ref.Set(1, 1, true)
+	est := boolmat.NewFactor(4, 2)
+	est.Set(1, 0, true)
+	est.Set(2, 1, true)
+	if got := FactorSimilarity(ref, ref, ref, est, est, est); got != 0.5 {
+		t.Fatalf("greedy similarity %v, want 0.5", got)
+	}
+}

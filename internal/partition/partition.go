@@ -136,12 +136,15 @@ func (b *Block) Density(rows int) float64 {
 //
 // Dense blocks intersect the packed row with the delta word-at-a-time;
 // sparse blocks walk the row's nonzero offsets.
+//
+//dbtf:noalloc
 func (b *Block) DeltaError(r int, d *sumcache.Delta) int64 {
 	if len(d.Occ) == 0 {
 		// Single-group delta: D is exactly the gain vector W1 &^ W0 and
 		// |D| is its cached popcount.
 		var overlap int
 		if b.denseWords != nil {
+			//dbtf:samewidth block stride and delta words both equal ceil(width/64) for the block's cache slice
 			overlap = bitvec.AndAndNotCountWords(b.RowWords(r), d.W1, d.W0)
 		} else {
 			overlap = sparseGainOverlap(b.RowBits(r), d.W1, d.W0, nil)
@@ -149,15 +152,19 @@ func (b *Block) DeltaError(r int, d *sumcache.Delta) int64 {
 		return int64(d.Pop - 2*overlap)
 	}
 	if b.denseWords != nil {
+		//dbtf:samewidth block stride and delta words both equal ceil(width/64) for the block's cache slice
 		gain, overlap := bitvec.GainCountsWords(b.RowWords(r), d.W1, d.W0, d.Occ)
 		return int64(gain - 2*overlap)
 	}
+	//dbtf:samewidth nil row is allowed by the kernel; delta words share one cache slice width
 	gain, _ := bitvec.GainCountsWords(nil, d.W1, d.W0, d.Occ)
 	return int64(gain - 2*sparseGainOverlap(b.RowBits(r), d.W1, d.W0, d.Occ))
 }
 
 // sparseGainOverlap counts the offsets lying inside the occluded gain
 // region (w1 &^ w0) &^ occ..., gathering one word per nonzero.
+//
+//dbtf:noalloc
 func sparseGainOverlap(offs []int32, w1, w0 []uint64, occ [][]uint64) int {
 	n := 0
 	for _, o := range offs {
@@ -180,8 +187,11 @@ func sparseGainOverlap(offs []int32, w1, w0 []uint64, occ [][]uint64) int {
 // candidate summation with popcount pop. Dense blocks use the
 // word-parallel Hamming distance; sparse blocks walk the nonzeros
 // (nnz + |sum| − 2·overlap, Lemma 4's note on step iii).
+//
+//dbtf:noalloc
 func (b *Block) RowError(r int, sum *bitvec.BitVec, pop int) int64 {
 	if b.denseWords != nil {
+		//dbtf:samewidth the summation comes from the block's own cache slice, so its word count equals the stride
 		return int64(bitvec.XorCountWords(b.RowWords(r), sum.Words()))
 	}
 	rowBits := b.RowBits(r)
