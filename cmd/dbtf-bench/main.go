@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"dbtf"
 	"dbtf/internal/experiments"
 )
 
@@ -38,9 +39,17 @@ func run(args []string) error {
 		verbose  = fs.Bool("v", false, "print per-run progress")
 		jsonOut  = fs.Bool("json", false, "run the Factorize micro-benchmarks and write a BENCH_<n>.json snapshot")
 		outDir   = fs.String("out", ".", "output directory for -json snapshots")
+		traceOut = fs.String("trace", "", "write a structured trace of every DBTF run to this file")
+		traceFmt = fs.String("trace-format", "jsonl", "trace format: jsonl or chrome")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceFmt != "jsonl" && *traceFmt != "chrome" {
+		return fmt.Errorf("-trace-format %q (want jsonl or chrome)", *traceFmt)
+	}
+	if *traceOut != "" && *jsonOut {
+		return fmt.Errorf("-trace does not apply to -json micro-benchmarks")
 	}
 
 	if *jsonOut {
@@ -76,6 +85,23 @@ func run(args []string) error {
 	}
 	if *verbose {
 		cfg.Progress = os.Stderr
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		sink := dbtf.NewJSONLTrace(f)
+		if *traceFmt == "chrome" {
+			sink = dbtf.NewChromeTrace(f)
+		}
+		tracer := dbtf.NewTracer(sink)
+		cfg.Tracer = tracer
+		defer func() {
+			if err := tracer.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "dbtf-bench: writing trace %s: %v\n", *traceOut, err)
+			}
+		}()
 	}
 
 	var todo []experiments.Experiment

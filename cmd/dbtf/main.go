@@ -15,6 +15,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"time"
 
@@ -54,6 +55,8 @@ func run(args []string) error {
 		budget     = fs.Duration("budget", 0, "abort after this duration (0 = unlimited)")
 		output     = fs.String("output", "", "prefix for writing factor matrices")
 		verbose    = fs.Bool("v", false, "print per-iteration progress")
+		traceOut   = fs.String("trace", "", "write a structured run trace to this file (dbtf method only)")
+		traceFmt   = fs.String("trace-format", "jsonl", "trace format: jsonl (analysis/tracecheck) or chrome (load in Perfetto)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,6 +85,12 @@ func run(args []string) error {
 	}
 	if *ckDir != "" && *ckEvery <= 0 {
 		return fmt.Errorf("-checkpoint-every %d must be >= 1", *ckEvery)
+	}
+	if *traceFmt != "jsonl" && *traceFmt != "chrome" {
+		return fmt.Errorf("-trace-format %q (want jsonl or chrome)", *traceFmt)
+	}
+	if *traceOut != "" && (*method != "dbtf" || *autoRank > 0) {
+		return fmt.Errorf("-trace requires -method dbtf (without -auto-rank)")
 	}
 
 	x, err := dbtf.ReadTensorFile(*input)
@@ -142,6 +151,18 @@ func run(args []string) error {
 				MachineRejoinAfter: *chaosJoin,
 			}
 		}
+		var tracer *dbtf.Tracer
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			sink := dbtf.NewJSONLTrace(f)
+			if *traceFmt == "chrome" {
+				sink = dbtf.NewChromeTrace(f)
+			}
+			tracer = dbtf.NewTracer(sink)
+		}
 		opts := dbtf.Options{
 			Rank:           *rank,
 			MaxIter:        *maxIter,
@@ -154,6 +175,7 @@ func run(args []string) error {
 			FailFast:       *failFast,
 			Faults:         faults,
 			Trace:          trace,
+			Tracer:         tracer,
 		}
 		if *ckDir != "" {
 			opts.CheckpointDir = *ckDir
@@ -161,8 +183,16 @@ func run(args []string) error {
 			opts.Resume = *resume
 		}
 		res, err := dbtf.Factorize(ctx, x, opts)
+		// Close the trace even when the run failed: the deferred run-end
+		// event has been emitted and a partial trace is still loadable.
+		if cerr := tracer.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("writing trace %s: %w", *traceOut, cerr)
+		}
 		if err != nil {
 			return err
+		}
+		if *traceOut != "" {
+			fmt.Printf("trace: wrote %s (%s)\n", *traceOut, *traceFmt)
 		}
 		factors, recErr = res.Factors, res.Error
 		fmt.Printf("dbtf: %d iterations, converged=%v\n", res.Iterations, res.Converged)
@@ -216,6 +246,8 @@ func run(args []string) error {
 	rel := float64(0)
 	if x.NNZ() > 0 {
 		rel = float64(recErr) / float64(x.NNZ())
+	} else if recErr > 0 {
+		rel = math.Inf(1) // no normalizer; matches metrics.RelativeError
 	}
 	fmt.Printf("reconstruction error: %d (relative %.4f) in %v\n", recErr, rel, time.Since(start).Round(time.Millisecond))
 

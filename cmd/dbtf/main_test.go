@@ -1,11 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"testing"
 
 	"dbtf"
+	"dbtf/internal/trace"
 )
 
 func writeTensor(t *testing.T) string {
@@ -134,6 +137,62 @@ func TestRunCheckpointThenResume(t *testing.T) {
 	}
 	if err := run(append(base, "-resume")); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunTraceWritesValidJSONL(t *testing.T) {
+	path := writeTensor(t)
+	out := filepath.Join(t.TempDir(), "run.jsonl")
+	if err := run([]string{"-input", path, "-rank", "2", "-machines", "2",
+		"-chaos", "0.1", "-trace", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sum, err := trace.ValidateJSONL(f)
+	if err != nil {
+		t.Fatalf("trace written by -trace is invalid: %v", err)
+	}
+	if sum.Runs != 1 || sum.Stages == 0 {
+		t.Fatalf("trace summary %+v, want 1 run with stages", sum)
+	}
+}
+
+func TestRunTraceChromeIsJSON(t *testing.T) {
+	path := writeTensor(t)
+	out := filepath.Join(t.TempDir(), "run.json")
+	if err := run([]string{"-input", path, "-rank", "2", "-machines", "2",
+		"-trace", out, "-trace-format", "chrome"}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("chrome trace is not a JSON array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("chrome trace empty")
+	}
+}
+
+func TestRunTraceFlagValidation(t *testing.T) {
+	path := writeTensor(t)
+	cases := map[string][]string{
+		"bad format":           {"-trace", "x.jsonl", "-trace-format", "xml"},
+		"non-dbtf method":      {"-method", "bcpals", "-trace", "x.jsonl"},
+		"auto-rank with trace": {"-auto-rank", "4", "-trace", "x.jsonl"},
+	}
+	for name, extra := range cases {
+		args := append([]string{"-input", path, "-rank", "2"}, extra...)
+		if err := run(args); err == nil {
+			t.Errorf("%s: invalid trace flags accepted: %v", name, extra)
+		}
 	}
 }
 

@@ -36,6 +36,7 @@ package dbtf
 
 import (
 	"context"
+	"math"
 	"runtime"
 	"time"
 
@@ -110,6 +111,11 @@ type Options struct {
 	Horizontal bool
 	// Trace, when non-nil, receives human-readable progress lines.
 	Trace func(format string, args ...any)
+	// Tracer, when non-nil, receives the run's structured event stream:
+	// stage/driver/iteration spans, traffic charges, retries, speculation,
+	// and machine liveness, on both the wall and the simulated clock. Build
+	// one with NewTracer; see cmd/dbtf's -trace flag for the file form.
+	Tracer *Tracer
 }
 
 // InitScheme selects how initial factor matrices are drawn; see the
@@ -176,6 +182,7 @@ func Factorize(ctx context.Context, x *Tensor, opt Options) (*Result, error) {
 		MaxRetries: opt.MaxRetries,
 		FailFast:   opt.FailFast,
 		Faults:     opt.Faults,
+		Tracer:     opt.Tracer,
 	})
 	res, err := core.Decompose(ctx, x, cl, core.Options{
 		Rank:            opt.Rank,
@@ -212,7 +219,9 @@ func Factorize(ctx context.Context, x *Tensor, opt Options) (*Result, error) {
 	if x.NNZ() > 0 {
 		out.RelativeError = float64(res.Error) / float64(x.NNZ())
 	} else if res.Error > 0 {
-		out.RelativeError = float64(res.Error)
+		// Same convention as metrics.RelativeError: a nonempty
+		// reconstruction of an empty tensor has no normalizer.
+		out.RelativeError = math.Inf(1)
 	}
 	return out, nil
 }

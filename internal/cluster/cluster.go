@@ -30,9 +30,12 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dbtf/internal/trace"
 )
 
 // NetworkModel prices the simulated cluster's communication. A stage pays
@@ -89,6 +92,11 @@ type Config struct {
 	// Faults, when non-nil, injects deterministic task failures, panics,
 	// straggler delays, and machine losses from a seed; see FaultPlan.
 	Faults *FaultPlan
+	// Tracer, when non-nil, receives a structured event for every stage,
+	// driver section, traffic charge, retry, speculation, machine
+	// loss/recovery, and checkpoint — see package trace. Nil disables
+	// tracing at the cost of one nil check per emission site.
+	Tracer *trace.Tracer
 }
 
 // DefaultMaxRetries is the per-task retry bound when Config.MaxRetries is
@@ -166,6 +174,9 @@ type Cluster struct {
 	maxRetries   int
 	retryBackoff time.Duration
 	faults       *FaultPlan
+	// tracer receives the structured event stream; nil when tracing is
+	// disabled (the nil-receiver fast path). Immutable after New.
+	tracer *trace.Tracer
 
 	// now is the clock used to measure task and driver durations;
 	// replaceable in tests for deterministic ledger checks.
@@ -183,6 +194,12 @@ type Cluster struct {
 	// the stage that is about to run, per traffic class.
 	//dbtf:guardedby mu
 	lastShuffled, lastBroadcast, lastCollected int64
+	// lastCheckpoint is the checkpoint-bytes snapshot at the previous
+	// stage boundary (and at ResetClock), so per-stage trace deltas and
+	// timed experiment phases never attribute pre-phase checkpoint
+	// traffic to the wrong stage or phase.
+	//dbtf:guardedby mu
+	lastCheckpoint int64
 	// liveBroadcast is the per-machine broadcast working set in bytes
 	// (see BroadcastState): what a machine must re-fetch to rejoin the
 	// stage pipeline after a loss.
@@ -256,6 +273,7 @@ func New(cfg Config) *Cluster {
 	return &Cluster{
 		machines: cfg.Machines, parallelism: p, network: net,
 		maxRetries: retries, retryBackoff: backoff, faults: cfg.Faults,
+		tracer: cfg.Tracer,
 		//dbtf:allow-nondeterministic default clock measures real task durations; tests inject a deterministic one
 		now:   time.Now,
 		alive: alive, aliveCount: cfg.Machines, diedAt: make([]int64, cfg.Machines),
@@ -264,6 +282,11 @@ func New(cfg Config) *Cluster {
 
 // Machines returns the number of logical machines M.
 func (c *Cluster) Machines() int { return c.machines }
+
+// Tracer returns the cluster's tracer, nil when tracing is disabled.
+// Clients (the decomposition driver) emit their own events — iteration
+// and run spans — onto the same stream.
+func (c *Cluster) Tracer() *trace.Tracer { return c.tracer }
 
 // LiveMachines returns the number of machines currently in service.
 func (c *Cluster) LiveMachines() int {
@@ -334,15 +357,20 @@ func (c *Cluster) Stats() Stats {
 func (c *Cluster) Shuffle(bytes int64) {
 	c.mu.Lock()
 	c.st.ShuffledBytes += bytes
+	sim := c.simNanos
 	c.mu.Unlock()
+	c.emitTraffic(trace.Shuffle, bytes, sim)
 }
 
 // Broadcast records bytes sent from the driver to every machine; the
 // recorded traffic is bytes × Machines, matching Lemma 7's O(M·I·R) term.
 func (c *Cluster) Broadcast(bytes int64) {
+	recorded := bytes * int64(c.machines)
 	c.mu.Lock()
-	c.st.BroadcastBytes += bytes * int64(c.machines)
+	c.st.BroadcastBytes += recorded
+	sim := c.simNanos
 	c.mu.Unlock()
+	c.emitTraffic(trace.Broadcast, recorded, sim)
 }
 
 // BroadcastState records a broadcast like Broadcast and additionally marks
@@ -351,17 +379,22 @@ func (c *Cluster) Broadcast(bytes int64) {
 // rejoin. Successive calls replace the working set — DBTF re-broadcasts
 // fresh factor matrices every iteration, superseding the previous ones.
 func (c *Cluster) BroadcastState(bytes int64) {
+	recorded := bytes * int64(c.machines)
 	c.mu.Lock()
-	c.st.BroadcastBytes += bytes * int64(c.machines)
+	c.st.BroadcastBytes += recorded
 	c.liveBroadcast = bytes
+	sim := c.simNanos
 	c.mu.Unlock()
+	c.emitTraffic(trace.Broadcast, recorded, sim)
 }
 
 // Collect records bytes returned from partitions to the driver.
 func (c *Cluster) Collect(bytes int64) {
 	c.mu.Lock()
 	c.st.CollectedBytes += bytes
+	sim := c.simNanos
 	c.mu.Unlock()
+	c.emitTraffic(trace.Collect, bytes, sim)
 }
 
 // RecordCheckpoint records the durable write of an iteration checkpoint of
@@ -371,7 +404,22 @@ func (c *Cluster) Collect(bytes int64) {
 func (c *Cluster) RecordCheckpoint(bytes int64) {
 	c.mu.Lock()
 	c.st.CheckpointBytes += bytes
+	sim := c.simNanos
 	c.mu.Unlock()
+	c.emitTraffic(trace.Checkpoint, bytes, sim)
+}
+
+// emitTraffic publishes one traffic charge to the tracer: bytes is the
+// exact increment applied to the corresponding Stats counter, so folding
+// the stream's traffic events reproduces the byte counters.
+func (c *Cluster) emitTraffic(typ trace.Type, bytes, sim int64) {
+	if !c.tracer.Enabled() {
+		return
+	}
+	ev := trace.NewEvent(typ)
+	ev.Bytes = bytes
+	ev.SimNanos = sim
+	c.tracer.Emit(ev)
 }
 
 // chargeRecoveryLocked prices a single-machine re-fetch of bytes over one
@@ -391,6 +439,13 @@ func (c *Cluster) chargeRecoveryLocked(bytes int64) {
 type stageState struct {
 	ctx context.Context
 	fn  func(int) error
+	// stage, label and beginSim identify the stage in trace events:
+	// index, human label, and the simulated clock at the stage boundary
+	// (in-stage events resolve at the boundary on the simulated clock).
+	// Written only before the stage starts.
+	stage    int64
+	label    string
+	beginSim int64
 
 	backups sync.WaitGroup // speculative copies in flight; joined before the stage returns
 
@@ -423,14 +478,19 @@ func (st *stageState) bump(counter *int64) {
 
 // beginStage numbers the stage, applies scheduled machine rejoins and
 // losses at its boundary, invokes the loss handler for every machine lost,
-// and returns the stage index plus fresh per-stage accounting.
-func (c *Cluster) beginStage(ctx context.Context, n int, fn func(int) error) (int64, *stageState) {
-	var losses []int
+// and returns fresh per-stage accounting. Liveness events and the stage's
+// begin event are emitted at the boundary, before any task runs — losses
+// are therefore never inside a stage span on the trace.
+func (c *Cluster) beginStage(ctx context.Context, name string, n int, fn func(int) error) *stageState {
+	var losses, rejoins []int
+	var recoveryBytes int64
 	c.mu.Lock()
 	stage := c.st.Stages
 	c.st.Stages++
 	c.st.Tasks += int64(n)
+	beginSim := c.simNanos
 	if c.faults != nil && c.faults.lossesPossible() {
+		recoveryBytes = c.liveBroadcast
 		if c.faults.MachineRejoinAfter > 0 {
 			for m := range c.alive {
 				if !c.alive[m] && stage-c.diedAt[m] >= int64(c.faults.MachineRejoinAfter) {
@@ -440,6 +500,7 @@ func (c *Cluster) beginStage(ctx context.Context, n int, fn func(int) error) (in
 					// working set before taking tasks again.
 					c.chargeRecoveryLocked(c.liveBroadcast)
 					c.st.Recoveries++
+					rejoins = append(rejoins, m)
 				}
 			}
 		}
@@ -462,6 +523,18 @@ func (c *Cluster) beginStage(ctx context.Context, n int, fn func(int) error) (in
 	}
 	handler := c.lossHandler
 	c.mu.Unlock()
+	if c.tracer.Enabled() {
+		for _, m := range rejoins {
+			ev := trace.NewEvent(trace.MachineRejoin)
+			ev.Stage, ev.Machine, ev.Bytes, ev.SimNanos = stage, m, recoveryBytes, beginSim
+			c.tracer.Emit(ev)
+		}
+		for _, m := range losses {
+			ev := trace.NewEvent(trace.MachineLoss)
+			ev.Stage, ev.Machine, ev.Bytes, ev.SimNanos = stage, m, recoveryBytes, beginSim
+			c.tracer.Emit(ev)
+		}
+	}
 	if handler != nil {
 		// Outside the lock: handlers record recovery traffic through
 		// Shuffle/Collect, which take the lock themselves.
@@ -469,8 +542,14 @@ func (c *Cluster) beginStage(ctx context.Context, n int, fn func(int) error) (in
 			handler(m)
 		}
 	}
-	return stage, &stageState{
+	if c.tracer.Enabled() {
+		ev := trace.NewEvent(trace.StageBegin)
+		ev.Stage, ev.Name, ev.Tasks, ev.SimNanos = stage, name, n, beginSim
+		c.tracer.Emit(ev)
+	}
+	return &stageState{
 		ctx: ctx, fn: fn,
+		stage: stage, label: name, beginSim: beginSim,
 		perMachine: make([]int64, c.machines),
 		losses:     len(losses),
 	}
@@ -495,9 +574,11 @@ func (c *Cluster) endStage(st *stageState, ok bool) {
 	dShuffled := c.st.ShuffledBytes - c.lastShuffled
 	dBroadcast := c.st.BroadcastBytes - c.lastBroadcast
 	dCollected := c.st.CollectedBytes - c.lastCollected
+	dCheckpoint := c.st.CheckpointBytes - c.lastCheckpoint
 	c.lastShuffled += dShuffled
 	c.lastBroadcast += dBroadcast
 	c.lastCollected += dCollected
+	c.lastCheckpoint += dCheckpoint
 	net := c.networkNanos(dShuffled, dBroadcast, dCollected) + c.recoveryNanos
 	c.recoveryNanos = 0
 	c.st.Retries += st.retries
@@ -508,11 +589,35 @@ func (c *Cluster) endStage(st *stageState, ok bool) {
 	c.st.ComputeNanos += makespan
 	c.st.NetworkNanos += net
 	c.simNanos += makespan + net
+	var absorbed int64
 	if ok && c.pendingRecoveries > 0 {
-		c.st.Recoveries += c.pendingRecoveries
+		absorbed = c.pendingRecoveries
+		c.st.Recoveries += absorbed
 		c.pendingRecoveries = 0
 	}
+	simAfter := c.simNanos
 	c.mu.Unlock()
+	if c.tracer.Enabled() {
+		ev := trace.NewEvent(trace.StageEnd)
+		ev.Stage, ev.Name, ev.SimNanos = st.stage, st.label, simAfter
+		ev.DurNanos = makespan + net
+		ev.Delta = &trace.StatsDelta{
+			ShuffledBytes:       dShuffled,
+			BroadcastBytes:      dBroadcast,
+			CollectedBytes:      dCollected,
+			CheckpointBytes:     dCheckpoint,
+			ComputeNanos:        makespan,
+			NetworkNanos:        net,
+			TaskNanos:           taskSum,
+			Retries:             st.retries,
+			InjectedFaults:      st.injected,
+			SpeculativeLaunches: st.specLaunch,
+			SpeculativeWins:     st.specWins,
+			Recoveries:          absorbed,
+		}
+		ev.PerMachineNanos = append([]int64(nil), st.perMachine...)
+		c.tracer.Emit(ev)
+	}
 }
 
 // ForEach runs n tasks as one parallel stage. Task t is logically placed on
@@ -543,13 +648,22 @@ func (c *Cluster) endStage(st *stageState, ok bool) {
 // transfers after machine losses — plus the network cost of traffic
 // recorded since the previous stage boundary.
 func (c *Cluster) ForEach(ctx context.Context, n int, fn func(task int) error) error {
+	return c.ForEachNamed(ctx, "", n, fn)
+}
+
+// ForEachNamed is ForEach with a stage label: the label names the stage's
+// span on the trace and is attached as the "stage" pprof label to every
+// worker goroutine, so CPU profiles attribute kernel time to the factor
+// update (or other) stage that spent it. An empty name traces as a
+// numbered anonymous stage.
+func (c *Cluster) ForEachNamed(ctx context.Context, name string, n int, fn func(task int) error) error {
 	if n < 0 {
 		panic("cluster: negative task count")
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	stage, st := c.beginStage(ctx, n, fn)
+	st := c.beginStage(ctx, name, n, fn)
 
 	var (
 		wg       sync.WaitGroup
@@ -566,27 +680,36 @@ func (c *Cluster) ForEach(ctx context.Context, n int, fn func(task int) error) e
 	if workers > n {
 		workers = n
 	}
+	label := name
+	if label == "" {
+		label = fmt.Sprintf("stage %d", st.stage)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				t := int(next.Add(1)) - 1
-				if t >= n || failed.Load() {
-					return
+			// pprof.Do merges the "stage" label with any labels the caller
+			// attached to ctx (the decomposition driver sets "mode" and
+			// "iteration"), so profiles slice by stage × mode × iteration.
+			pprof.Do(ctx, pprof.Labels("stage", label), func(ctx context.Context) {
+				for {
+					t := int(next.Add(1)) - 1
+					if t >= n || failed.Load() {
+						return
+					}
+					if err := ctx.Err(); err != nil {
+						fail(err)
+						return
+					}
+					assigned := c.MachineFor(t)
+					simNanos, err := c.runAttempts(st, st.stage, t, assigned)
+					st.charge(assigned, simNanos)
+					if err != nil {
+						fail(err)
+						return
+					}
 				}
-				if err := ctx.Err(); err != nil {
-					fail(err)
-					return
-				}
-				assigned := c.MachineFor(t)
-				simNanos, err := c.runAttempts(st, stage, t, assigned)
-				st.charge(assigned, simNanos)
-				if err != nil {
-					fail(err)
-					return
-				}
-			}
+			})
 		}()
 	}
 	wg.Wait()
@@ -660,6 +783,15 @@ func (c *Cluster) runAttempts(st *stageState, stage int64, t, assigned int) (int
 			return sim, cerr
 		}
 		st.bump(&st.retries)
+		if c.tracer.Enabled() {
+			// A marker, not a counter: the retry count folds from the
+			// owning stage_end delta, published at the stage boundary.
+			ev := trace.NewEvent(trace.Retry)
+			ev.Stage, ev.Machine, ev.Task = stage, assigned, t
+			ev.Attempt = attempt + 1
+			ev.SimNanos = st.beginSim
+			c.tracer.Emit(ev)
+		}
 		sim += c.retryBackoff.Nanoseconds() << uint(attempt)
 	}
 }
@@ -688,6 +820,12 @@ func (c *Cluster) speculate(st *stageState, t, home int) {
 		}
 		st.bump(&st.specLaunch)
 		backup := c.backupMachineFor(home)
+		if c.tracer.Enabled() {
+			ev := trace.NewEvent(trace.SpeculativeLaunch)
+			ev.Stage, ev.Machine, ev.Task = st.stage, backup, t
+			ev.SimNanos = st.beginSim
+			c.tracer.Emit(ev)
+		}
 		start := c.now()
 		// The original attempt already succeeded; the copy's outcome is
 		// discarded and its errors are irrelevant.
@@ -696,6 +834,12 @@ func (c *Cluster) speculate(st *stageState, t, home int) {
 		resolve := delay
 		if cost < delay {
 			st.bump(&st.specWins)
+			if c.tracer.Enabled() {
+				ev := trace.NewEvent(trace.SpeculativeWin)
+				ev.Stage, ev.Machine, ev.Task = st.stage, backup, t
+				ev.SimNanos = st.beginSim
+				c.tracer.Emit(ev)
+			}
 			resolve = cost
 		}
 		st.charge(home, resolve)
@@ -745,11 +889,30 @@ func runTask(fn func(int) error, t int) (err error) {
 // per-partition errors and deciding each entry — are driver work. A done
 // context skips the section and returns its error, so cancellation is
 // observed at every stage boundary.
+//
+// A context cancelled while fn runs does not lose the section: the work
+// was done and is recorded (clock charge and trace span) before the
+// cancellation is propagated, so a cancelled resume never reports a clean
+// exit over half-accounted books.
 func (c *Cluster) Driver(ctx context.Context, fn func()) error {
+	return c.DriverNamed(ctx, "", fn)
+}
+
+// DriverNamed is Driver with a section label for the trace.
+func (c *Cluster) DriverNamed(ctx context.Context, name string, fn func()) error {
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+	}
+	var simBefore int64
+	if c.tracer.Enabled() {
+		c.mu.Lock()
+		simBefore = c.simNanos
+		c.mu.Unlock()
+		ev := trace.NewEvent(trace.DriverBegin)
+		ev.Name, ev.SimNanos = name, simBefore
+		c.tracer.Emit(ev)
 	}
 	start := c.now()
 	fn()
@@ -757,7 +920,20 @@ func (c *Cluster) Driver(ctx context.Context, fn func()) error {
 	c.mu.Lock()
 	c.simNanos += dur
 	c.st.DriverNanos += dur
+	simAfter := c.simNanos
 	c.mu.Unlock()
+	if c.tracer.Enabled() {
+		ev := trace.NewEvent(trace.DriverEnd)
+		ev.Name, ev.SimNanos, ev.DurNanos = name, simAfter, dur
+		c.tracer.Emit(ev)
+	}
+	if ctx != nil {
+		// Re-check after fn: a section interrupted by cancellation is
+		// recorded above, then the cancellation propagates.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -770,7 +946,9 @@ func (c *Cluster) SimElapsed() time.Duration {
 
 // ResetClock zeroes the simulated clock and stage-traffic snapshots but
 // keeps the traffic counters and the machine liveness state. Used between
-// timed experiment phases.
+// timed experiment phases. Every traffic class is re-baselined — including
+// checkpoint bytes and pending recovery transfer time — so a timed phase
+// never pays for (or attributes) traffic recorded before the reset.
 func (c *Cluster) ResetClock() {
 	c.mu.Lock()
 	c.simNanos = 0
@@ -778,5 +956,32 @@ func (c *Cluster) ResetClock() {
 	c.lastShuffled = c.st.ShuffledBytes
 	c.lastBroadcast = c.st.BroadcastBytes
 	c.lastCollected = c.st.CollectedBytes
+	c.lastCheckpoint = c.st.CheckpointBytes
+	c.recoveryNanos = 0
 	c.mu.Unlock()
+}
+
+// TraceDelta converts a Stats snapshot into the trace package's
+// accumulator form (trace cannot import cluster). RunEnd events carry this
+// snapshot so validators can compare the folded event stream against the
+// engine's own counters.
+func (s Stats) TraceDelta() trace.StatsDelta {
+	return trace.StatsDelta{
+		ShuffledBytes:       s.ShuffledBytes,
+		BroadcastBytes:      s.BroadcastBytes,
+		CollectedBytes:      s.CollectedBytes,
+		CheckpointBytes:     s.CheckpointBytes,
+		Stages:              s.Stages,
+		Tasks:               s.Tasks,
+		ComputeNanos:        s.ComputeNanos,
+		NetworkNanos:        s.NetworkNanos,
+		DriverNanos:         s.DriverNanos,
+		TaskNanos:           s.TaskNanos,
+		Retries:             s.Retries,
+		InjectedFaults:      s.InjectedFaults,
+		SpeculativeLaunches: s.SpeculativeLaunches,
+		SpeculativeWins:     s.SpeculativeWins,
+		MachineLosses:       s.MachineLosses,
+		Recoveries:          s.Recoveries,
+	}
 }

@@ -25,6 +25,8 @@ import (
 	"math"
 	"math/bits"
 	"math/rand"
+	"runtime/pprof"
+	"strconv"
 	"time"
 
 	"dbtf/internal/bitvec"
@@ -33,6 +35,7 @@ import (
 	"dbtf/internal/partition"
 	"dbtf/internal/sumcache"
 	"dbtf/internal/tensor"
+	"dbtf/internal/trace"
 )
 
 // InitScheme selects how the initial factor matrices are drawn.
@@ -223,7 +226,36 @@ func Decompose(ctx context.Context, x *tensor.Tensor, cl *cluster.Cluster, opts 
 	//dbtf:allow-nondeterministic wall-clock reporting only (Result.WallTime); no result depends on it
 	start := time.Now()
 	cl.ResetClock()
-	d := &decomposition{ctx: ctx, x: x, cl: cl, opt: opt, reg: newRegistries(cl.Machines())}
+	d := &decomposition{ctx: ctx, rootCtx: ctx, x: x, cl: cl, opt: opt, reg: newRegistries(cl.Machines())}
+
+	// Run span: the RunEnd snapshot is the Stats accumulated during this
+	// run (diffed against the entry snapshot, so a reused cluster folds
+	// correctly), which the trace validator compares against the fold of
+	// every event in between. The deferred end also closes a run aborted by
+	// an error, including its open iteration span, so even a failed run
+	// leaves a structurally valid trace.
+	tr := cl.Tracer()
+	statsBefore := cl.Stats()
+	if tr.Enabled() {
+		ev := trace.NewEvent(trace.RunBegin)
+		ev.Name = fmt.Sprintf("dbtf rank=%d", opt.Rank)
+		ev.Machines = cl.Machines()
+		ev.SimNanos = cl.SimElapsed().Nanoseconds()
+		tr.Emit(ev)
+		defer func() {
+			if d.openIter > 0 {
+				iev := trace.NewEvent(trace.IterationEnd)
+				iev.Iteration = d.openIter
+				iev.SimNanos = cl.SimElapsed().Nanoseconds()
+				tr.Emit(iev)
+			}
+			eev := trace.NewEvent(trace.RunEnd)
+			eev.SimNanos = cl.SimElapsed().Nanoseconds()
+			delta := cl.Stats().TraceDelta().Sub(statsBefore.TraceDelta())
+			eev.Delta = &delta
+			tr.Emit(eev)
+		}()
+	}
 
 	// Checkpointing: the fingerprint binds a checkpoint to this exact
 	// configuration and tensor, and resume loads the latest snapshot
@@ -290,6 +322,7 @@ func Decompose(ctx context.Context, x *tensor.Tensor, cl *cluster.Cluster, opts 
 	} else {
 		// First iteration: try L random initial sets and keep the best
 		// (Algorithm 2, lines 5-8).
+		d.beginIteration(1)
 		type set struct {
 			a, b, c *boolmat.FactorMatrix
 			err     int64
@@ -328,9 +361,11 @@ func Decompose(ctx context.Context, x *tensor.Tensor, cl *cluster.Cluster, opts 
 				return nil, err
 			}
 		}
+		d.endIteration(1, prevErr, 0)
 	}
 
 	for t := res.Iterations + 1; t <= opt.MaxIter && !res.Converged; t++ {
+		d.beginIteration(t)
 		if err := d.updateFactors(a, b, c); err != nil {
 			return nil, err
 		}
@@ -344,12 +379,14 @@ func Decompose(ctx context.Context, x *tensor.Tensor, cl *cluster.Cluster, opts 
 		if t >= opt.MinIter && prevErr-e <= opt.Tolerance {
 			res.Converged = true
 		}
+		improvement := prevErr - e
 		prevErr = e
 		if checkpointing && (t%opt.CheckpointEvery == 0 || res.Converged || t == opt.MaxIter) {
 			if err := d.writeCheckpointStage(res, a, b, c, prevErr, src.n); err != nil {
 				return nil, err
 			}
 		}
+		d.endIteration(t, e, improvement)
 	}
 
 	res.A, res.B, res.C = a, b, c
@@ -437,11 +474,18 @@ func initialSet(rng *rand.Rand, x *tensor.Tensor, opt Options) (a, b, c *boolmat
 }
 
 type decomposition struct {
-	ctx context.Context
-	x   *tensor.Tensor
-	cl  *cluster.Cluster
-	opt Options
-	px  [3]*partition.Partitioned
+	// ctx is rootCtx with the current iteration's pprof label attached;
+	// stages inherit it, so CPU profiles slice by iteration. rootCtx is the
+	// caller's context, kept for re-labeling at each iteration boundary.
+	ctx     context.Context
+	rootCtx context.Context
+	// openIter is the 1-based iteration whose trace span is open; 0 when
+	// none. The run's deferred end event closes it on an aborted run.
+	openIter int
+	x        *tensor.Tensor
+	cl       *cluster.Cluster
+	opt      Options
+	px       [3]*partition.Partitioned
 	// reg[m] shares row-summation caches among the partitions placed on
 	// machine m (Lemmas 4 and 5 count the build once per machine).
 	reg []*machineRegistry
@@ -493,7 +537,7 @@ func (d *decomposition) writeCheckpointStage(res *Result, a, b, c *boolmat.Facto
 	}
 	var bytes int64
 	var werr error
-	if err := d.cl.Driver(d.ctx, func() {
+	if err := d.cl.DriverNamed(d.ctx, "checkpoint", func() {
 		bytes, werr = writeCheckpoint(d.opt.CheckpointDir, ck)
 	}); err != nil {
 		return err
@@ -512,11 +556,38 @@ func (d *decomposition) trace(format string, args ...any) {
 	}
 }
 
+// beginIteration opens iteration t's trace span and re-labels the stage
+// context so profiles attribute the iteration's kernels to it.
+func (d *decomposition) beginIteration(t int) {
+	d.ctx = pprof.WithLabels(d.rootCtx, pprof.Labels("iteration", strconv.Itoa(t)))
+	if tr := d.cl.Tracer(); tr.Enabled() {
+		ev := trace.NewEvent(trace.IterationBegin)
+		ev.Iteration = t
+		ev.SimNanos = d.cl.SimElapsed().Nanoseconds()
+		tr.Emit(ev)
+	}
+	d.openIter = t
+}
+
+// endIteration closes iteration t's span, attaching the reconstruction
+// error after the iteration and its improvement over the previous one.
+func (d *decomposition) endIteration(t int, e, improvement int64) {
+	d.openIter = 0
+	if tr := d.cl.Tracer(); tr.Enabled() {
+		ev := trace.NewEvent(trace.IterationEnd)
+		ev.Iteration = t
+		ev.SimNanos = d.cl.SimElapsed().Nanoseconds()
+		ev.Error = &e
+		ev.ErrorDelta = &improvement
+		tr.Emit(ev)
+	}
+}
+
 // partitionAll unfolds the tensor in its three modes and partitions each
 // unfolding (Algorithm 2, lines 1-3). The shuffle volume of distributing
 // the partitions is charged to the cluster (Lemma 6).
 func (d *decomposition) partitionAll() error {
-	err := d.cl.ForEach(d.ctx, 3, func(m int) error {
+	err := d.cl.ForEachNamed(d.ctx, "partition", 3, func(m int) error {
 		u := d.x.Unfold(tensor.Mode(m + 1))
 		d.px[m] = partition.Build(u, d.opt.Partitions)
 		return nil
@@ -539,15 +610,15 @@ func (d *decomposition) updateFactors(a, b, c *boolmat.FactorMatrix) error {
 	// working set a machine must re-fetch to recover from a machine loss.
 	d.cl.BroadcastState(bytes)
 	// X₍₁₎ ≈ A ∘ (C ⊙ B)ᵀ: PVM blocks indexed by rows of C, cache over B.
-	if err := d.updateFactor(d.px[0], a, c, b); err != nil {
+	if err := d.updateFactor("A", d.px[0], a, c, b); err != nil {
 		return err
 	}
 	// X₍₂₎ ≈ B ∘ (C ⊙ A)ᵀ.
-	if err := d.updateFactor(d.px[1], b, c, a); err != nil {
+	if err := d.updateFactor("B", d.px[1], b, c, a); err != nil {
 		return err
 	}
 	// X₍₃₎ ≈ C ∘ (B ⊙ A)ᵀ.
-	return d.updateFactor(d.px[2], c, b, a)
+	return d.updateFactor("C", d.px[2], c, b, a)
 }
 
 // summer yields Boolean row summations for rank masks; it is the access
@@ -617,10 +688,13 @@ func (d *decomposition) blockSummers(pi int, p *partition.Partition, ms *boolmat
 // ms is cached (the second operand) — Algorithm 4, with the per-row
 // decision evaluated as the error difference e1 − e0 over the delta
 // region of the two candidate summations instead of two full errors.
-func (d *decomposition) updateFactor(px *partition.Partitioned, a, mf, ms *boolmat.FactorMatrix) error {
+func (d *decomposition) updateFactor(mode string, px *partition.Partitioned, a, mf, ms *boolmat.FactorMatrix) error {
 	if d.opt.Horizontal {
-		return d.updateFactorHorizontal(px, a, mf, ms)
+		return d.updateFactorHorizontal(mode, px, a, mf, ms)
 	}
+	// The updated factor names the stage spans and the "mode" pprof label,
+	// so both the timeline and CPU profiles split the three updates apart.
+	ctx := pprof.WithLabels(d.ctx, pprof.Labels("mode", mode))
 	n := len(px.Parts)
 	p := a.Rows()
 
@@ -628,7 +702,7 @@ func (d *decomposition) updateFactor(px *partition.Partitioned, a, mf, ms *boolm
 	// through the per-machine cache registry (Algorithm 5) plus every
 	// buffer the column loop needs, so the loop itself allocates nothing.
 	tasks := make([]*columnTask, n)
-	err := d.cl.ForEach(d.ctx, n, func(pi int) error {
+	err := d.cl.ForEachNamed(ctx, "build:"+mode, n, func(pi int) error {
 		tasks[pi] = d.newColumnTask(pi, px.Parts[pi], a, mf, ms)
 		return nil
 	})
@@ -637,13 +711,13 @@ func (d *decomposition) updateFactor(px *partition.Partitioned, a, mf, ms *boolm
 	}
 
 	for c := 0; c < d.opt.Rank; c++ {
-		if err := d.ctx.Err(); err != nil {
+		if err := ctx.Err(); err != nil {
 			return err
 		}
 		// Stage: every partition evaluates, for each row, the error
 		// difference of its column range between the two candidate values
 		// (Algorithm 4 lines 4-9 reduced to the flipped cells only).
-		err := d.cl.ForEach(d.ctx, n, func(pi int) error {
+		err := d.cl.ForEachNamed(ctx, "eval:"+mode, n, func(pi int) error {
 			tasks[pi].evalColumn(c)
 			return nil
 		})
@@ -656,7 +730,7 @@ func (d *decomposition) updateFactor(px *partition.Partitioned, a, mf, ms *boolm
 		// exactly when candidate 1's total error is strictly smaller,
 		// i.e. when the summed difference is negative.
 		d.cl.Collect(int64(n) * int64(p) * 8)
-		err = d.cl.Driver(d.ctx, func() {
+		err = d.cl.DriverNamed(ctx, "commit:"+mode, func() {
 			for r := 0; r < p; r++ {
 				var t int64
 				for pi := 0; pi < n; pi++ {
@@ -681,7 +755,7 @@ func (d *decomposition) totalError(a, b, c *boolmat.FactorMatrix) (int64, error)
 	px := d.px[0]
 	n := len(px.Parts)
 	partial := make([]int64, n)
-	err := d.cl.ForEach(d.ctx, n, func(pi int) error {
+	err := d.cl.ForEachNamed(d.ctx, "total-error", n, func(pi int) error {
 		part := px.Parts[pi]
 		summers := d.blockSummers(pi, part, b)
 		var e int64

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/bits"
+	"runtime/pprof"
 
 	"dbtf/internal/bitvec"
 	"dbtf/internal/boolmat"
@@ -19,12 +20,13 @@ import (
 // Q-bit vector, so the collected traffic per column is N·P·2·Q/8 bytes
 // instead of N·P·2·8), and the level of parallelism is capped by the rank,
 // which is usually far smaller than the tensor dimensionalities.
-func (d *decomposition) updateFactorHorizontal(px *partition.Partitioned, a, mf, ms *boolmat.FactorMatrix) error {
+func (d *decomposition) updateFactorHorizontal(mode string, px *partition.Partitioned, a, mf, ms *boolmat.FactorMatrix) error {
 	r := d.opt.Rank
 	n := d.opt.Partitions
 	if n > r {
 		n = r // horizontal partitioning cannot exceed the rank
 	}
+	ctx := pprof.WithLabels(d.ctx, pprof.Labels("mode", mode))
 	p := a.Rows()
 	q := px.NumCols
 
@@ -36,7 +38,7 @@ func (d *decomposition) updateFactorHorizontal(px *partition.Partitioned, a, mf,
 	// full-width Q-bit vectors (row rr is mf's column rr Kronecker ms's
 	// column rr).
 	kron := make([]*bitvec.BitVec, r)
-	err := d.cl.ForEach(d.ctx, n, func(pi int) error {
+	err := d.cl.ForEachNamed(ctx, "kron:"+mode, n, func(pi int) error {
 		for rr := rankLo(pi); rr < rankHi(pi); rr++ {
 			v := bitvec.New(q)
 			inner := ms.Column(rr).Indices()
@@ -66,11 +68,11 @@ func (d *decomposition) updateFactorHorizontal(px *partition.Partitioned, a, mf,
 	combined := bitvec.New(q)
 
 	for c := 0; c < r; c++ {
-		if err := d.ctx.Err(); err != nil {
+		if err := ctx.Err(); err != nil {
 			return err
 		}
 		bit := uint64(1) << uint(c)
-		err := d.cl.ForEach(d.ctx, n, func(pi int) error {
+		err := d.cl.ForEachNamed(ctx, "eval-h:"+mode, n, func(pi int) error {
 			owned := ownedMask(rankLo(pi), rankHi(pi))
 			for row := 0; row < p; row++ {
 				key0 := (a.RowMask(row) &^ bit) & owned
@@ -91,7 +93,7 @@ func (d *decomposition) updateFactorHorizontal(px *partition.Partitioned, a, mf,
 		// Every partial is a full Q-bit vector shipped to the driver: the
 		// communication horizontal partitioning cannot avoid.
 		d.cl.Collect(int64(n) * int64(p) * 2 * int64((q+7)/8))
-		err = d.cl.Driver(d.ctx, func() {
+		err = d.cl.DriverNamed(ctx, "commit-h:"+mode, func() {
 			for row := 0; row < p; row++ {
 				var errs [2]int64
 				for cand := 0; cand < 2; cand++ {

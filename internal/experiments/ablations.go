@@ -27,6 +27,9 @@ func runDBTFVariant(cfg Config, x *dbtf.Tensor, opt dbtf.Options) (res *dbtf.Res
 	if opt.Seed == 0 {
 		opt.Seed = cfg.Seed
 	}
+	if opt.Tracer == nil {
+		opt.Tracer = cfg.Tracer
+	}
 	start := time.Now()
 	res, err = dbtf.Factorize(ctx, x, opt)
 	wall = time.Since(start)

@@ -39,6 +39,7 @@ func ChaosMakespan(cfg Config) *Table {
 		opt := dbtf.Options{
 			Rank: fig1Rank, Machines: cfg.Machines,
 			MaxIter: 3, MinIter: 3, Seed: cfg.Seed,
+			Tracer: cfg.Tracer,
 		}
 		if rate > 0 {
 			opt.Faults = &dbtf.FaultPlan{

@@ -45,6 +45,10 @@ type Config struct {
 	Scale float64
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
+	// Tracer, when non-nil, receives the structured trace events of every
+	// DBTF run the experiments execute (one run span per Factorize call,
+	// all on one stream).
+	Tracer *dbtf.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -180,6 +184,7 @@ func RunMethod(cfg Config, m Method, x *dbtf.Tensor, opt MethodOptions) Run {
 			Partitions:  opt.Partitions,
 			InitialSets: opt.InitialSets,
 			Seed:        cfg.Seed,
+			Tracer:      cfg.Tracer,
 		}
 		if opt.FullIterations {
 			o.MaxIter, o.MinIter = 10, 10

@@ -158,6 +158,7 @@ func Fig7MachineScalability(cfg Config) *Table {
 		res, err := dbtf.Factorize(ctx, x, dbtf.Options{
 			Rank: fig1Rank, Machines: machines, Partitions: 48,
 			MaxIter: 3, MinIter: 3, Seed: cfg.Seed,
+			Tracer: cfg.Tracer,
 		})
 		cancel()
 		if err != nil {

@@ -6,6 +6,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 
 	"dbtf/internal/boolmat"
 	"dbtf/internal/tensor"
@@ -13,14 +14,19 @@ import (
 
 // RelativeError returns |X ⊕ X̂| / |X|, the reconstruction error
 // normalized by the input's nonzero count (so 1.0 is the trivial all-zero
-// factorization). Returns 0 for an empty tensor with error 0.
+// factorization). The empty-tensor edge cases follow the ratio's limits: a
+// perfect reconstruction of an empty tensor scores 0, and a nonempty
+// reconstruction of an empty tensor scores +Inf — every set cell is a
+// false positive and no normalizer exists, so no finite score in the
+// ratio's units is meaningful (an earlier version returned the raw error
+// count here, which silently mixed units with every other return).
 func RelativeError(x *tensor.Tensor, a, b, c *boolmat.FactorMatrix) float64 {
 	e := tensor.ReconstructError(x, a, b, c)
 	if x.NNZ() == 0 {
 		if e == 0 {
 			return 0
 		}
-		return float64(e)
+		return math.Inf(1)
 	}
 	return float64(e) / float64(x.NNZ())
 }

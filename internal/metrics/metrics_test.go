@@ -38,10 +38,21 @@ func TestRelativeErrorEmptyTensor(t *testing.T) {
 	if got := RelativeError(x, zero, zero, zero); got != 0 {
 		t.Fatalf("empty tensor + empty factors: %v", got)
 	}
+	// A nonempty reconstruction of an empty tensor has no normalizer: the
+	// score is +Inf, never the raw error count (which would silently change
+	// units — the 1-cell case used to coincide with ratio 1.0 and a larger
+	// reconstruction would not).
 	one := boolmat.NewFactor(4, 1)
 	one.Set(0, 0, true)
-	if got := RelativeError(x, one, one, one); got != 1 {
-		t.Fatalf("empty tensor + 1-cell reconstruction: %v, want 1", got)
+	if got := RelativeError(x, one, one, one); !math.IsInf(got, 1) {
+		t.Fatalf("empty tensor + 1-cell reconstruction: %v, want +Inf", got)
+	}
+	many := boolmat.NewFactor(4, 1)
+	for r := 0; r < 4; r++ {
+		many.Set(r, 0, true)
+	}
+	if got := RecoveryError(x, many, many, many); !math.IsInf(got, 1) {
+		t.Fatalf("empty truth + 64-cell reconstruction: %v, want +Inf", got)
 	}
 }
 

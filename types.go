@@ -9,6 +9,7 @@ import (
 	"dbtf/internal/gen"
 	"dbtf/internal/metrics"
 	"dbtf/internal/tensor"
+	"dbtf/internal/trace"
 )
 
 // Tensor is a sparse three-way Boolean tensor. Construct with NewTensor,
@@ -28,6 +29,27 @@ type ClusterStats = cluster.Stats
 // FaultPlan deterministically injects task failures, panics, and straggler
 // delays into the simulated cluster; see Options.Faults.
 type FaultPlan = cluster.FaultPlan
+
+// Tracer serializes a run's structured trace events into a TraceSink; see
+// Options.Tracer and package internal/trace for the event schema.
+type Tracer = trace.Tracer
+
+// TraceSink receives trace events; NewJSONLTrace and NewChromeTrace build
+// the two shipped sinks.
+type TraceSink = trace.Sink
+
+// NewTracer returns a tracer writing to sink. A nil sink yields a nil
+// (disabled) tracer, which every emission site treats as off.
+func NewTracer(sink TraceSink) *Tracer { return trace.New(sink) }
+
+// NewJSONLTrace returns a sink encoding one JSON event per line to w: the
+// durable analysis format, validated by cmd/dbtf-tracecheck.
+func NewJSONLTrace(w io.Writer) TraceSink { return trace.NewJSONL(w) }
+
+// NewChromeTrace returns a sink encoding the Chrome trace_event format to
+// w — load the file in chrome://tracing or Perfetto to see per-machine
+// stage lanes on the simulated clock.
+func NewChromeTrace(w io.Writer) TraceSink { return trace.NewChrome(w) }
 
 // Dataset is a named stand-in for one of the paper's real-world datasets.
 type Dataset = gen.Dataset
