@@ -1,0 +1,62 @@
+// Command dbtf-worker runs one DBTF cluster machine as a standalone OS
+// process: a TCP stage server that a dbtf coordinator (cmd/dbtf with
+// -transport tcp, or dbtf.Options.Workers) dials, replicates state to,
+// and ships column-update and error stages to.
+//
+// Usage:
+//
+//	dbtf-worker [-listen 127.0.0.1:0]
+//
+// The resolved listen address is printed to stdout as
+//
+//	dbtf-worker listening on <addr>
+//
+// so scripts (and the repo's multi-process tests) can start workers on
+// ephemeral ports and harvest the addresses. The process is stateless
+// across coordinator sessions — every new run begins with a setup push
+// that resets it — so one long-lived worker can serve many runs, and a
+// worker restarted after a crash rejoins a live run at the next stage
+// boundary via the coordinator's replay.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"dbtf/internal/core"
+	"dbtf/internal/transport/tcp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dbtf-worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dbtf-worker", flag.ContinueOnError)
+	var (
+		listen = fs.String("listen", "127.0.0.1:0", "address to listen on (port 0 picks an ephemeral port)")
+		quiet  = fs.Bool("q", false, "suppress per-connection log lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	// The harvestable address line; tests and the README walkthrough
+	// depend on its exact format.
+	fmt.Printf("dbtf-worker listening on %s\n", lis.Addr())
+	logger := log.New(os.Stderr, "dbtf-worker: ", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = nil
+	}
+	return tcp.Serve(lis, core.NewWorker(), logf)
+}

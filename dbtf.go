@@ -36,6 +36,7 @@ package dbtf
 
 import (
 	"context"
+	"errors"
 	"math"
 	"runtime"
 	"time"
@@ -43,6 +44,8 @@ import (
 	"dbtf/internal/cluster"
 	"dbtf/internal/core"
 	"dbtf/internal/tensor"
+	"dbtf/internal/transport"
+	"dbtf/internal/transport/tcp"
 )
 
 // Options configures Factorize. Zero values select the documented
@@ -61,8 +64,17 @@ type Options struct {
 	InitialSets int
 	// Machines is the simulated cluster size M. Real execution parallelism
 	// is bounded by the host CPUs; the simulated-time ledger models M
-	// machines. Default: GOMAXPROCS.
+	// machines. Default: GOMAXPROCS. Ignored when Workers is set.
 	Machines int
+	// Workers lists TCP addresses of dbtf-worker processes (one logical
+	// machine each; see cmd/dbtf-worker). When non-empty the run executes
+	// on those real processes instead of the in-process simulated cluster:
+	// M is len(Workers), stage work travels over the sockets, and a worker
+	// that dies mid-run is recovered exactly like a simulated machine
+	// loss. For the same Seed, factors are bit-identical to a simulated
+	// run with the same machine count. Incompatible with Faults (fault
+	// injection is a property of the simulated backend).
+	Workers []string
 	// Partitions is the number of vertical partitions N per unfolded
 	// tensor. Default: Machines.
 	Partitions int
@@ -172,16 +184,34 @@ type Result struct {
 // Factorize computes the rank-R Boolean CP decomposition of x with DBTF.
 // The context bounds the run; cancellation and deadline expiry surface as
 // the context's error.
-func Factorize(ctx context.Context, x *Tensor, opt Options) (*Result, error) {
+func Factorize(ctx context.Context, x *Tensor, opt Options) (out *Result, err error) {
 	machines := opt.Machines
 	if machines == 0 {
 		machines = runtime.GOMAXPROCS(0)
+	}
+	var trans transport.Transport
+	if len(opt.Workers) > 0 {
+		if opt.Faults != nil {
+			return nil, errors.New("dbtf: Faults requires the simulated backend (unset Workers)")
+		}
+		machines = len(opt.Workers)
+		co, derr := tcp.Dial(tcp.Config{Addrs: opt.Workers})
+		if derr != nil {
+			return nil, derr
+		}
+		defer func() {
+			if cerr := co.Close(); cerr != nil && err == nil {
+				out, err = nil, cerr
+			}
+		}()
+		trans = co
 	}
 	cl := cluster.New(cluster.Config{
 		Machines:   machines,
 		MaxRetries: opt.MaxRetries,
 		FailFast:   opt.FailFast,
 		Faults:     opt.Faults,
+		Transport:  trans,
 		Tracer:     opt.Tracer,
 	})
 	res, err := core.Decompose(ctx, x, cl, core.Options{
@@ -205,7 +235,7 @@ func Factorize(ctx context.Context, x *Tensor, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{
+	out = &Result{
 		Factors:         Factors{A: res.A, B: res.B, C: res.C},
 		Error:           res.Error,
 		Iterations:      res.Iterations,

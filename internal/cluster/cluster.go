@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"dbtf/internal/trace"
+	"dbtf/internal/transport"
 )
 
 // NetworkModel prices the simulated cluster's communication. A stage pays
@@ -97,6 +98,16 @@ type Config struct {
 	// loss/recovery, and checkpoint — see package trace. Nil disables
 	// tracing at the cost of one nil check per emission site.
 	Tracer *trace.Tracer
+	// Transport, when non-nil, executes remote-capable stages (see
+	// RunStage) on real machines instead of the simulated pool. The
+	// engine keeps all accounting — stage numbering, the formula-based
+	// traffic counters, liveness books — so a remote run's Stats message
+	// counts match the simulated run's exactly; only the measured times
+	// (and the extra Wire trace events carrying real socket bytes)
+	// differ. Machine losses come from the transport's failure detection
+	// instead of a FaultPlan: the two are mutually exclusive, and
+	// Transport.Machines() must equal Machines.
+	Transport transport.Transport
 }
 
 // DefaultMaxRetries is the per-task retry bound when Config.MaxRetries is
@@ -177,6 +188,9 @@ type Cluster struct {
 	// tracer receives the structured event stream; nil when tracing is
 	// disabled (the nil-receiver fast path). Immutable after New.
 	tracer *trace.Tracer
+	// transport executes remote-capable stages on real machines; nil
+	// selects the simulated pool. Immutable after New.
+	transport transport.Transport
 
 	// now is the clock used to measure task and driver durations;
 	// replaceable in tests for deterministic ledger checks.
@@ -266,6 +280,14 @@ func New(cfg Config) *Cluster {
 			}
 		}
 	}
+	if cfg.Transport != nil {
+		if cfg.Faults != nil {
+			panic("cluster: Faults and Transport are mutually exclusive (remote failures come from the transport's failure detection)")
+		}
+		if tm := cfg.Transport.Machines(); tm != cfg.Machines {
+			panic(fmt.Sprintf("cluster: Transport has %d machines, cluster has %d", tm, cfg.Machines))
+		}
+	}
 	alive := make([]bool, cfg.Machines)
 	for i := range alive {
 		alive[i] = true
@@ -273,7 +295,7 @@ func New(cfg Config) *Cluster {
 	return &Cluster{
 		machines: cfg.Machines, parallelism: p, network: net,
 		maxRetries: retries, retryBackoff: backoff, faults: cfg.Faults,
-		tracer: cfg.Tracer,
+		tracer: cfg.Tracer, transport: cfg.Transport,
 		//dbtf:allow-nondeterministic default clock measures real task durations; tests inject a deterministic one
 		now:   time.Now,
 		alive: alive, aliveCount: cfg.Machines, diedAt: make([]int64, cfg.Machines),
@@ -628,8 +650,8 @@ func (c *Cluster) endStage(st *stageState, ok bool) {
 // Task errors and recovered panics are treated as transient machine
 // failures: the task is re-executed up to the configured retry bound with
 // exponential (simulated) backoff, and only a task exhausting every attempt
-// aborts the stage — its last error, wrapped with the attempt count, is
-// returned and remaining queued tasks are skipped. Under FailFast the first
+// aborts the stage — its last error, wrapped with the attempt count and the
+// stage label, is returned and remaining queued tasks are skipped. Under FailFast the first
 // failure aborts immediately. A configured FaultPlan injects additional
 // deterministic failures, panics, straggler delays, and machine losses
 // (applied at the stage boundary). An injected straggler launches a real
@@ -705,7 +727,10 @@ func (c *Cluster) ForEachNamed(ctx context.Context, name string, n int, fn func(
 					simNanos, err := c.runAttempts(st, st.stage, t, assigned)
 					st.charge(assigned, simNanos)
 					if err != nil {
-						fail(err)
+						// A task failure — including a recovered panic —
+						// surfaces as an error naming the stage; it never
+						// crashes the coordinator.
+						fail(stageError(label, err))
 						return
 					}
 				}

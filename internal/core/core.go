@@ -36,6 +36,7 @@ import (
 	"dbtf/internal/sumcache"
 	"dbtf/internal/tensor"
 	"dbtf/internal/trace"
+	"dbtf/internal/transport"
 )
 
 // InitScheme selects how the initial factor matrices are drawn.
@@ -226,7 +227,26 @@ func Decompose(ctx context.Context, x *tensor.Tensor, cl *cluster.Cluster, opts 
 	//dbtf:allow-nondeterministic wall-clock reporting only (Result.WallTime); no result depends on it
 	start := time.Now()
 	cl.ResetClock()
-	d := &decomposition{ctx: ctx, rootCtx: ctx, x: x, cl: cl, opt: opt, reg: newRegistries(cl.Machines())}
+	d := &decomposition{ctx: ctx, rootCtx: ctx, x: x, cl: cl, opt: opt, remote: cl.Remote(), reg: newRegistries(cl.Machines())}
+	if d.remote {
+		if opt.Horizontal {
+			// Horizontal partitioning routes every row summation through
+			// the driver mid-stage — a chatty pattern the remote protocol
+			// deliberately does not speak (the ablation argues against it).
+			return nil, errors.New("core: horizontal partitioning requires the simulated backend")
+		}
+		// Ship the run's immutable inputs: every executor rebuilds the
+		// partitioned unfoldings locally from the tensor, and a rejoining
+		// machine gets the same blob replayed — the re-shipped partitions
+		// of the recovery protocol, over the real socket.
+		setup, err := encodeSetup(x, opt, cl.Machines())
+		if err != nil {
+			return nil, err
+		}
+		if err := cl.PushState(ctx, transport.StateSetup, setup); err != nil {
+			return nil, err
+		}
+	}
 
 	// Run span: the RunEnd snapshot is the Stats accumulated during this
 	// run (diffed against the entry snapshot, so a reused cluster folds
@@ -485,7 +505,11 @@ type decomposition struct {
 	x        *tensor.Tensor
 	cl       *cluster.Cluster
 	opt      Options
-	px       [3]*partition.Partitioned
+	// remote marks a cluster backed by a real transport: distributed
+	// stages ship to executors and committed state is replicated to them
+	// instead of shared through memory.
+	remote bool
+	px     [3]*partition.Partitioned
 	// reg[m] shares row-summation caches among the partitions placed on
 	// machine m (Lemmas 4 and 5 count the build once per machine).
 	reg []*machineRegistry
@@ -609,16 +633,25 @@ func (d *decomposition) updateFactors(a, b, c *boolmat.FactorMatrix) error {
 	// BroadcastState (not plain Broadcast): the factor matrices are the
 	// working set a machine must re-fetch to recover from a machine loss.
 	d.cl.BroadcastState(bytes)
+	if d.remote {
+		// The modeled broadcast above prices the transfer; this ships it:
+		// remote executors replace their factor replicas (invalidating
+		// column tasks and caches over the previous versions), after which
+		// per-column pushes keep them identical to the driver's copies.
+		if err := d.cl.PushState(d.ctx, transport.StateFactors, encodeFactors(a, b, c)); err != nil {
+			return err
+		}
+	}
 	// X₍₁₎ ≈ A ∘ (C ⊙ B)ᵀ: PVM blocks indexed by rows of C, cache over B.
-	if err := d.updateFactor("A", d.px[0], a, c, b); err != nil {
+	if err := d.updateFactor(0, "A", d.px[0], a, c, b); err != nil {
 		return err
 	}
 	// X₍₂₎ ≈ B ∘ (C ⊙ A)ᵀ.
-	if err := d.updateFactor("B", d.px[1], b, c, a); err != nil {
+	if err := d.updateFactor(1, "B", d.px[1], b, c, a); err != nil {
 		return err
 	}
 	// X₍₃₎ ≈ C ∘ (B ⊙ A)ᵀ.
-	return d.updateFactor("C", d.px[2], c, b, a)
+	return d.updateFactor(2, "C", d.px[2], c, b, a)
 }
 
 // summer yields Boolean row summations for rank masks; it is the access
@@ -660,8 +693,16 @@ func (s naiveSummer) Sum(mask uint64, scratch *bitvec.BitVec) (*bitvec.BitVec, i
 // version is unchanged. Partial blocks get lazily sliced views, memoized
 // per distinct range (Lemma 3 bounds those per partition).
 func (d *decomposition) blockSummers(pi int, p *partition.Partition, ms *boolmat.FactorMatrix) []summer {
+	return buildBlockSummers(d.reg[d.cl.MachineFor(pi)], p, ms, d.opt.GroupBits, d.opt.NoCache)
+}
+
+// buildBlockSummers resolves a partition's summers against one machine's
+// registry; the simulated path picks the registry by the engine's task
+// placement, a remote executor uses its own. Shared so both backends build
+// their caches identically.
+func buildBlockSummers(reg *machineRegistry, p *partition.Partition, ms *boolmat.FactorMatrix, groupBits int, noCache bool) []summer {
 	out := make([]summer, len(p.Blocks))
-	if d.opt.NoCache {
+	if noCache {
 		cols := ms.Columns()
 		for bi, b := range p.Blocks {
 			sliced := make([]*bitvec.BitVec, len(cols))
@@ -672,7 +713,7 @@ func (d *decomposition) blockSummers(pi int, p *partition.Partition, ms *boolmat
 		}
 		return out
 	}
-	mc := d.reg[d.cl.MachineFor(pi)].cacheFor(ms, d.opt.GroupBits)
+	mc := reg.cacheFor(ms, groupBits)
 	for bi, b := range p.Blocks {
 		if b.Type == partition.Full {
 			out[bi] = cacheSummer{mc.full}
@@ -688,7 +729,7 @@ func (d *decomposition) blockSummers(pi int, p *partition.Partition, ms *boolmat
 // ms is cached (the second operand) — Algorithm 4, with the per-row
 // decision evaluated as the error difference e1 − e0 over the delta
 // region of the two candidate summations instead of two full errors.
-func (d *decomposition) updateFactor(mode string, px *partition.Partitioned, a, mf, ms *boolmat.FactorMatrix) error {
+func (d *decomposition) updateFactor(modeIdx int, mode string, px *partition.Partitioned, a, mf, ms *boolmat.FactorMatrix) error {
 	if d.opt.Horizontal {
 		return d.updateFactorHorizontal(mode, px, a, mf, ms)
 	}
@@ -701,11 +742,15 @@ func (d *decomposition) updateFactor(mode string, px *partition.Partitioned, a, 
 	// Stage: build per-partition column tasks — block summers resolved
 	// through the per-machine cache registry (Algorithm 5) plus every
 	// buffer the column loop needs, so the loop itself allocates nothing.
+	// On a remote backend the tasks live on the executors; here only the
+	// collected deltas do.
 	tasks := make([]*columnTask, n)
-	err := d.cl.ForEachNamed(ctx, "build:"+mode, n, func(pi int) error {
+	deltas := make([][]int64, n)
+	buildSpec := transport.Spec{Name: "build:" + mode, Kind: transport.KindBuild, Mode: modeIdx, Tasks: n}
+	err := d.cl.RunStage(ctx, buildSpec, func(pi int) error {
 		tasks[pi] = d.newColumnTask(pi, px.Parts[pi], a, mf, ms)
 		return nil
-	})
+	}, nil)
 	if err != nil {
 		return err
 	}
@@ -717,8 +762,17 @@ func (d *decomposition) updateFactor(mode string, px *partition.Partitioned, a, 
 		// Stage: every partition evaluates, for each row, the error
 		// difference of its column range between the two candidate values
 		// (Algorithm 4 lines 4-9 reduced to the flipped cells only).
-		err := d.cl.ForEachNamed(ctx, "eval:"+mode, n, func(pi int) error {
+		evalSpec := transport.Spec{Name: "eval:" + mode, Kind: transport.KindEval, Mode: modeIdx, Col: c, Tasks: n}
+		err := d.cl.RunStage(ctx, evalSpec, func(pi int) error {
 			tasks[pi].evalColumn(c)
+			deltas[pi] = tasks[pi].deltas
+			return nil
+		}, func(pi int, payload []byte) error {
+			ds, err := decodeDeltas(payload, p)
+			if err != nil {
+				return err
+			}
+			deltas[pi] = ds
 			return nil
 		})
 		if err != nil {
@@ -734,13 +788,20 @@ func (d *decomposition) updateFactor(mode string, px *partition.Partitioned, a, 
 			for r := 0; r < p; r++ {
 				var t int64
 				for pi := 0; pi < n; pi++ {
-					t += tasks[pi].deltas[r]
+					t += deltas[pi][r]
 				}
 				a.Set(r, c, t < 0)
 			}
 		})
 		if err != nil {
 			return err
+		}
+		if d.remote {
+			// Replicate the committed column so executor factor replicas
+			// track the driver's copies entry for entry.
+			if err := d.cl.PushState(ctx, transport.StateColumn, encodeColumn(modeIdx, c, a)); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -755,18 +816,15 @@ func (d *decomposition) totalError(a, b, c *boolmat.FactorMatrix) (int64, error)
 	px := d.px[0]
 	n := len(px.Parts)
 	partial := make([]int64, n)
-	err := d.cl.ForEachNamed(d.ctx, "total-error", n, func(pi int) error {
+	spec := transport.Spec{Name: "total-error", Kind: transport.KindTotalError, Tasks: n}
+	err := d.cl.RunStage(d.ctx, spec, func(pi int) error {
 		part := px.Parts[pi]
-		summers := d.blockSummers(pi, part, b)
-		var e int64
-		for bi, blk := range part.Blocks {
-			kMask := c.RowMask(blk.PVM)
-			sm := summers[bi]
-			scratch := bitvec.New(sm.Width())
-			for r := 0; r < a.Rows(); r++ {
-				sum, pop := sm.Sum(a.RowMask(r)&kMask, scratch)
-				e += blk.RowError(r, sum, pop)
-			}
+		partial[pi] = partitionError(part, a, c, d.blockSummers(pi, part, b))
+		return nil
+	}, func(pi int, payload []byte) error {
+		e, err := decodePartial(payload)
+		if err != nil {
+			return err
 		}
 		partial[pi] = e
 		return nil
@@ -780,4 +838,21 @@ func (d *decomposition) totalError(a, b, c *boolmat.FactorMatrix) (int64, error)
 		total += e
 	}
 	return total, nil
+}
+
+// partitionError computes one mode-1 partition's share of |X ⊕ X̂| from
+// pre-resolved summers over b: rows indexed by a, PVM blocks by c. Shared
+// by the simulated path and remote executors.
+func partitionError(part *partition.Partition, a, c *boolmat.FactorMatrix, summers []summer) int64 {
+	var e int64
+	for bi, blk := range part.Blocks {
+		kMask := c.RowMask(blk.PVM)
+		sm := summers[bi]
+		scratch := bitvec.New(sm.Width())
+		for r := 0; r < a.Rows(); r++ {
+			sum, pop := sm.Sum(a.RowMask(r)&kMask, scratch)
+			e += blk.RowError(r, sum, pop)
+		}
+	}
+	return e
 }

@@ -248,7 +248,7 @@ func TestUpdateFactorMatchesReference(t *testing.T) {
 
 		d := newTestDecomposition(t, x, Options{Rank: r, Partitions: rng.Intn(5) + 1}, 3)
 		got := a.Clone()
-		if err := d.updateFactor("A", d.px[0], got, c, b); err != nil {
+		if err := d.updateFactor(0, "A", d.px[0], got, c, b); err != nil {
 			t.Fatal(err)
 		}
 		want := a.Clone()
@@ -270,7 +270,7 @@ func TestUpdateFactorModes2And3MatchReference(t *testing.T) {
 	d := newTestDecomposition(t, x, Options{Rank: r, Partitions: 4}, 2)
 
 	gotB := b.Clone()
-	if err := d.updateFactor("B", d.px[1], gotB, c, a); err != nil {
+	if err := d.updateFactor(1, "B", d.px[1], gotB, c, a); err != nil {
 		t.Fatal(err)
 	}
 	wantB := b.Clone()
@@ -280,7 +280,7 @@ func TestUpdateFactorModes2And3MatchReference(t *testing.T) {
 	}
 
 	gotC := c.Clone()
-	if err := d.updateFactor("C", d.px[2], gotC, b, a); err != nil {
+	if err := d.updateFactor(2, "C", d.px[2], gotC, b, a); err != nil {
 		t.Fatal(err)
 	}
 	wantC := c.Clone()

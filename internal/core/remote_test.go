@@ -1,0 +1,160 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"dbtf/internal/boolmat"
+	"dbtf/internal/cluster"
+	"dbtf/internal/transport"
+)
+
+// hostTransport is the minimal remote backend: Worker hosts called
+// in-process with no sockets. It exercises the whole driver/executor split
+// — state replication, stage shipping, result payloads — so a divergence
+// here is a protocol bug, not a networking bug.
+type hostTransport struct {
+	hosts []transport.Host
+	sent  atomic.Int64
+	recvd atomic.Int64
+}
+
+func newHostTransport(machines int) *hostTransport {
+	ht := &hostTransport{}
+	for m := 0; m < machines; m++ {
+		ht.hosts = append(ht.hosts, NewWorker())
+	}
+	return ht
+}
+
+func (h *hostTransport) Machines() int { return len(h.hosts) }
+
+func (h *hostTransport) Membership(context.Context) []transport.LivenessEvent { return nil }
+
+func (h *hostTransport) PushState(ctx context.Context, kind transport.StateKind, payload []byte) error {
+	for _, host := range h.hosts {
+		if err := host.Apply(kind, payload); err != nil {
+			return err
+		}
+		h.sent.Add(int64(len(payload)))
+	}
+	return nil
+}
+
+func (h *hostTransport) Run(ctx context.Context, spec transport.Spec, deliver func(transport.TaskResult) error) error {
+	for task := 0; task < spec.Tasks; task++ {
+		m := task % len(h.hosts)
+		payload, err := h.hosts[m].RunTask(spec, task)
+		if err != nil {
+			return err
+		}
+		h.recvd.Add(int64(len(payload)))
+		if err := deliver(transport.TaskResult{Task: task, Machine: m, Nanos: 1000, Payload: payload}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *hostTransport) WireBytes() (int64, int64) { return h.sent.Load(), h.recvd.Load() }
+func (h *hostTransport) Close() error              { return nil }
+
+// TestRemoteHostsMatchSimulated is the in-process half of the transport
+// differential guarantee: for the same seed, Decompose over Worker hosts
+// must be bit-identical to Decompose on the simulated backend — factors,
+// error trajectory, and the formula-based traffic statistics.
+func TestRemoteHostsMatchSimulated(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 4; trial++ {
+		i, j, k := rng.Intn(12)+4, rng.Intn(12)+4, rng.Intn(12)+4
+		x := randomTensor(rng, i, j, k, 0.12)
+		opt := Options{
+			Rank:        rng.Intn(4) + 2,
+			Seed:        int64(trial + 1),
+			MaxIter:     3,
+			Partitions:  rng.Intn(3) + 1,
+			InitialSets: 2,
+			NoCache:     trial%2 == 1,
+		}
+		machines := rng.Intn(3) + 2
+
+		sim, err := Decompose(context.Background(), x, testCluster(machines), opt)
+		if err != nil {
+			t.Fatalf("trial %d: simulated: %v", trial, err)
+		}
+		rem, err := Decompose(context.Background(), x,
+			cluster.New(cluster.Config{Machines: machines, Transport: newHostTransport(machines)}), opt)
+		if err != nil {
+			t.Fatalf("trial %d: remote: %v", trial, err)
+		}
+
+		if !rem.A.Equal(sim.A) || !rem.B.Equal(sim.B) || !rem.C.Equal(sim.C) {
+			t.Fatalf("trial %d: remote factors differ from simulated", trial)
+		}
+		if rem.Error != sim.Error || rem.Iterations != sim.Iterations || rem.Converged != sim.Converged {
+			t.Fatalf("trial %d: remote result %d/%d/%v, simulated %d/%d/%v",
+				trial, rem.Error, rem.Iterations, rem.Converged, sim.Error, sim.Iterations, sim.Converged)
+		}
+		if len(rem.IterationErrors) != len(sim.IterationErrors) {
+			t.Fatalf("trial %d: iteration-error lengths differ: %d vs %d",
+				trial, len(rem.IterationErrors), len(sim.IterationErrors))
+		}
+		for it := range rem.IterationErrors {
+			if rem.IterationErrors[it] != sim.IterationErrors[it] {
+				t.Fatalf("trial %d: iteration %d error %d, simulated %d",
+					trial, it, rem.IterationErrors[it], sim.IterationErrors[it])
+			}
+		}
+		// The formula-based accounting is backend-independent by design.
+		rs, ss := rem.Stats, sim.Stats
+		if rs.Stages != ss.Stages || rs.Tasks != ss.Tasks {
+			t.Fatalf("trial %d: stage/task counts differ: %d/%d vs %d/%d",
+				trial, rs.Stages, rs.Tasks, ss.Stages, ss.Tasks)
+		}
+		if rs.ShuffledBytes != ss.ShuffledBytes || rs.BroadcastBytes != ss.BroadcastBytes || rs.CollectedBytes != ss.CollectedBytes {
+			t.Fatalf("trial %d: traffic formulas differ: shuffle %d/%d broadcast %d/%d collect %d/%d",
+				trial, rs.ShuffledBytes, ss.ShuffledBytes, rs.BroadcastBytes, ss.BroadcastBytes,
+				rs.CollectedBytes, ss.CollectedBytes)
+		}
+	}
+}
+
+// TestWorkerRejectsOutOfOrderState pins the executor's error paths: stages
+// before setup, factors before setup, columns before factors, and garbage
+// payloads must all fail loudly.
+func TestWorkerRejectsOutOfOrderState(t *testing.T) {
+	w := NewWorker()
+	if _, err := w.RunTask(transport.Spec{Name: "eval:A", Kind: transport.KindEval}, 0); err == nil {
+		t.Fatal("RunTask before setup succeeded")
+	}
+	if err := w.Apply(transport.StateFactors, nil); err == nil {
+		t.Fatal("factors push before setup succeeded")
+	}
+	if err := w.Apply(transport.StateColumn, nil); err == nil {
+		t.Fatal("column push before setup succeeded")
+	}
+	if err := w.Apply(transport.StateSetup, []byte("garbage")); err == nil {
+		t.Fatal("garbage setup payload accepted")
+	}
+	if err := w.Apply(transport.StateKind(99), nil); err == nil {
+		t.Fatal("unknown state kind accepted")
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	x := randomTensor(rng, 5, 6, 7, 0.2)
+	setup, err := encodeSetup(x, Options{Rank: 2, Partitions: 2, GroupBits: 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Apply(transport.StateSetup, setup); err != nil {
+		t.Fatalf("valid setup rejected: %v", err)
+	}
+	if err := w.Apply(transport.StateColumn, encodeColumn(0, 0, boolmat.RandomFactor(rng, 5, 2, 0.5))); err == nil {
+		t.Fatal("column push before factors succeeded")
+	}
+	if _, err := w.RunTask(transport.Spec{Name: "eval:A", Kind: transport.KindEval, Mode: 0, Col: 0}, 0); err == nil {
+		t.Fatal("eval before factors succeeded")
+	}
+}

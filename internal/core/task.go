@@ -28,13 +28,24 @@ type columnTask struct {
 }
 
 func (d *decomposition) newColumnTask(pi int, part *partition.Partition, a, mf, ms *boolmat.FactorMatrix) *columnTask {
+	return buildColumnTask(part, a, mf, d.blockSummers(pi, part, ms), d.opt.NoCache)
+}
+
+// buildColumnTask assembles a column task from pre-resolved summers. It is
+// the shared constructor of the simulated path (summers resolved through
+// the per-machine registries) and a remote executor (its own registry);
+// both sides build byte-identical state, which is what makes lazily
+// rebuilding a reassigned task on another machine safe: evalColumn is
+// stateless across columns, so a task built mid-update evaluates exactly
+// like one built at the update's build stage.
+func buildColumnTask(part *partition.Partition, a, mf *boolmat.FactorMatrix, summers []summer, noCache bool) *columnTask {
 	t := &columnTask{
 		part:    part,
 		a:       a,
 		mf:      mf,
-		summers: d.blockSummers(pi, part, ms),
+		summers: summers,
 		deltas:  make([]int64, a.Rows()),
-		noCache: d.opt.NoCache,
+		noCache: noCache,
 	}
 	if t.noCache {
 		t.scratch = make([]*bitvec.BitVec, len(part.Blocks))

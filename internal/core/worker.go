@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"dbtf/internal/boolmat"
+	"dbtf/internal/partition"
+	"dbtf/internal/tensor"
+	"dbtf/internal/transport"
+)
+
+// Worker is the executor side of a remote run: one logical machine's
+// replicated state — the tensor, the three partitioned unfoldings, the
+// current factor matrices, a cache registry, and the column tasks built by
+// build stages — plus the stage kinds the coordinator ships. It implements
+// transport.Host.
+//
+// A Worker runs the exact kernels the simulated engine runs
+// (buildColumnTask, evalColumn, partitionError) on state kept
+// entry-identical to the coordinator's by the StateKind pushes, which is
+// what makes remote factors bit-identical to simulated ones for the same
+// seed. Calls are serialized by an internal lock; the wire protocol is
+// sequential per connection anyway.
+type Worker struct {
+	mu sync.Mutex
+	//dbtf:guardedby mu
+	setup wireSetup
+	//dbtf:guardedby mu
+	x *tensor.Tensor
+	//dbtf:guardedby mu
+	px [3]*partition.Partitioned
+	// reg is this machine's cache registry: summers resolved here are
+	// shared by the machine's partitions and across stages, exactly like
+	// one simulated machine's registry entry.
+	//dbtf:guardedby mu
+	reg *machineRegistry
+	//dbtf:guardedby mu
+	a, b, c *boolmat.FactorMatrix
+	// tasks[mode][pi] is the column task a build stage (or a lazy rebuild
+	// after reassignment) created for partition pi of the mode's update.
+	// Replaced wholesale on every factor push: tasks hold summers over
+	// factor versions a push supersedes.
+	//dbtf:guardedby mu
+	tasks [3]map[int]*columnTask
+}
+
+// NewWorker returns an empty executor awaiting a StateSetup push.
+func NewWorker() *Worker { return &Worker{} }
+
+// Apply installs one replicated-state blob (transport.Host).
+func (w *Worker) Apply(kind transport.StateKind, payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch kind {
+	case transport.StateSetup:
+		return w.applySetupLocked(payload)
+	case transport.StateFactors:
+		return w.applyFactorsLocked(payload)
+	case transport.StateColumn:
+		return w.applyColumnLocked(payload)
+	}
+	return fmt.Errorf("core: worker: unknown state kind %d", kind)
+}
+
+func (w *Worker) applySetupLocked(payload []byte) error {
+	ws, x, err := decodeSetup(payload)
+	if err != nil {
+		return err
+	}
+	w.setup, w.x = ws, x
+	// Rebuild the vertical partitionings locally — the executor's share of
+	// Algorithm 2's one-off distribution. A replayed setup (machine
+	// rejoin) resets everything: the process may have restarted and holds
+	// no usable state.
+	for m := range w.px {
+		w.px[m] = partition.Build(x.Unfold(tensor.Mode(m+1)), ws.Partitions)
+	}
+	w.reg = &machineRegistry{entries: map[registryKey]*machineCache{}}
+	w.a, w.b, w.c = nil, nil, nil
+	w.resetTasksLocked()
+	return nil
+}
+
+func (w *Worker) applyFactorsLocked(payload []byte) error {
+	if w.x == nil {
+		return fmt.Errorf("core: worker: factors pushed before setup")
+	}
+	a, b, c, err := decodeFactors(payload)
+	if err != nil {
+		return err
+	}
+	i, j, k := w.x.Dims()
+	for _, f := range []struct {
+		name string
+		m    *boolmat.FactorMatrix
+		rows int
+	}{{"A", a, i}, {"B", b, j}, {"C", c, k}} {
+		if f.m.Rows() != f.rows || f.m.Rank() != w.setup.Rank {
+			return fmt.Errorf("core: worker: pushed factor %s is %dx%d, want %dx%d",
+				f.name, f.m.Rows(), f.m.Rank(), f.rows, w.setup.Rank)
+		}
+	}
+	w.a, w.b, w.c = a, b, c
+	// Tasks and caches built over the previous factor versions are stale;
+	// the registry's version keys would catch the caches, dropping both
+	// keeps memory bounded by the live working set.
+	w.reg.clear()
+	w.resetTasksLocked()
+	return nil
+}
+
+func (w *Worker) applyColumnLocked(payload []byte) error {
+	modeIdx, col, rows, bits, err := decodeColumn(payload)
+	if err != nil {
+		return err
+	}
+	m := w.factorLocked(modeIdx)
+	if m == nil {
+		return fmt.Errorf("core: worker: column pushed before factors")
+	}
+	if rows != m.Rows() || col >= m.Rank() {
+		return fmt.Errorf("core: worker: column push %d rows/col %d does not fit %dx%d factor",
+			rows, col, m.Rows(), m.Rank())
+	}
+	// In place: live column tasks hold pointers to this matrix and must
+	// observe the committed entries, exactly as the simulated path's
+	// driver commit mutates the shared matrix under its tasks.
+	for r := 0; r < rows; r++ {
+		m.Set(r, col, bits[r/8]&(1<<uint(r%8)) != 0)
+	}
+	return nil
+}
+
+func (w *Worker) resetTasksLocked() {
+	for m := range w.tasks {
+		w.tasks[m] = map[int]*columnTask{}
+	}
+}
+
+// factor returns the matrix updated in mode modeIdx (0=A, 1=B, 2=C).
+func (w *Worker) factorLocked(modeIdx int) *boolmat.FactorMatrix {
+	switch modeIdx {
+	case 0:
+		return w.a
+	case 1:
+		return w.b
+	case 2:
+		return w.c
+	}
+	return nil
+}
+
+// modeMatrices resolves a factor update's operand roles, mirroring
+// updateFactors: the updated matrix, the PVM-indexing matrix mf, and the
+// cached matrix ms.
+func (w *Worker) modeMatricesLocked(modeIdx int) (upd, mf, ms *boolmat.FactorMatrix, err error) {
+	switch modeIdx {
+	case 0:
+		upd, mf, ms = w.a, w.c, w.b
+	case 1:
+		upd, mf, ms = w.b, w.c, w.a
+	case 2:
+		upd, mf, ms = w.c, w.b, w.a
+	default:
+		return nil, nil, nil, fmt.Errorf("core: worker: mode %d outside [0,2]", modeIdx)
+	}
+	if upd == nil || mf == nil || ms == nil {
+		return nil, nil, nil, fmt.Errorf("core: worker: mode %d stage before factors push", modeIdx)
+	}
+	return upd, mf, ms, nil
+}
+
+// RunTask executes one task of a shipped stage (transport.Host) and
+// returns its result payload.
+func (w *Worker) RunTask(spec transport.Spec, task int) ([]byte, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.x == nil {
+		return nil, fmt.Errorf("core: worker: stage %q before setup", spec.Name)
+	}
+	switch spec.Kind {
+	case transport.KindBuild:
+		_, err := w.columnTaskForLocked(spec.Mode, task)
+		return nil, err
+	case transport.KindEval:
+		t, err := w.columnTaskForLocked(spec.Mode, task)
+		if err != nil {
+			return nil, err
+		}
+		if spec.Col < 0 || spec.Col >= w.setup.Rank {
+			return nil, fmt.Errorf("core: worker: eval column %d outside rank %d", spec.Col, w.setup.Rank)
+		}
+		t.evalColumn(spec.Col)
+		return encodeDeltas(t.deltas), nil
+	case transport.KindTotalError:
+		if w.a == nil {
+			return nil, fmt.Errorf("core: worker: total-error before factors push")
+		}
+		px := w.px[0]
+		if task < 0 || task >= len(px.Parts) {
+			return nil, fmt.Errorf("core: worker: task %d outside %d partitions", task, len(px.Parts))
+		}
+		part := px.Parts[task]
+		summers := buildBlockSummers(w.reg, part, w.b, w.setup.GroupBits, w.setup.NoCache)
+		return encodePartial(partitionError(part, w.a, w.c, summers)), nil
+	}
+	return nil, fmt.Errorf("core: worker: unknown stage kind %d", spec.Kind)
+}
+
+// columnTaskFor returns the mode's column task for partition pi, building
+// it if the build stage ran elsewhere (the partition was reassigned to
+// this machine after a loss). Lazy rebuild is sound because evalColumn is
+// stateless across columns and the cached matrix ms does not change during
+// its own mode's update: a task built mid-update is byte-equivalent to one
+// built at the build stage.
+func (w *Worker) columnTaskForLocked(modeIdx, pi int) (*columnTask, error) {
+	upd, mf, ms, err := w.modeMatricesLocked(modeIdx)
+	if err != nil {
+		return nil, err
+	}
+	px := w.px[modeIdx]
+	if pi < 0 || pi >= len(px.Parts) {
+		return nil, fmt.Errorf("core: worker: task %d outside %d partitions", pi, len(px.Parts))
+	}
+	if t := w.tasks[modeIdx][pi]; t != nil {
+		return t, nil
+	}
+	part := px.Parts[pi]
+	summers := buildBlockSummers(w.reg, part, ms, w.setup.GroupBits, w.setup.NoCache)
+	t := buildColumnTask(part, upd, mf, summers, w.setup.NoCache)
+	w.tasks[modeIdx][pi] = t
+	return t, nil
+}

@@ -193,6 +193,9 @@ func (s *Chrome) Write(ev *Event) error {
 	case MachineLoss, MachineRejoin:
 		s.instant(string(ev.Type), "liveness", machineTid(ev.Machine), ev.SimNanos,
 			map[string]any{"recovery_bytes": ev.Bytes, "stage": ev.Stage})
+	case Wire:
+		s.instant("wire:"+ev.Name, "wire", driverTid, ev.SimNanos,
+			map[string]any{"bytes": ev.Bytes, "stage": ev.Stage})
 	}
 	return s.werr
 }

@@ -78,6 +78,7 @@ var knownTypes = map[Type]bool{
 	Shuffle: true, Broadcast: true, Collect: true, Checkpoint: true,
 	Retry: true, SpeculativeLaunch: true, SpeculativeWin: true,
 	MachineLoss: true, MachineRejoin: true,
+	Wire: true,
 }
 
 // Summary reports what a validated stream contained.

@@ -69,6 +69,13 @@ const (
 	// BroadcastBytes (a single-link transfer, not multiplied by M).
 	MachineLoss   Type = "machine_loss"
 	MachineRejoin Type = "machine_rejoin"
+	// Wire records real socket traffic of a remote transport: Bytes is
+	// the sent-plus-received wire volume of one stage (Stage, Name set)
+	// or state push (Stage -1). Wire bytes are measurements of the
+	// physical backend, not part of the modeled traffic accounting, so
+	// Observe does not fold them and validators place no structural
+	// constraints on them.
+	Wire Type = "wire"
 )
 
 // Event is one entry of the run trace. Field applicability depends on

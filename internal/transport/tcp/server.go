@@ -1,0 +1,147 @@
+package tcp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"dbtf/internal/transport"
+)
+
+// writeTimeout bounds a single reply write on the executor side so a
+// wedged coordinator cannot pin a worker in a blocked write forever.
+const writeTimeout = time.Minute
+
+// Serve runs the executor side of the protocol on lis, pumping frames
+// into host, until the listener is closed. Each connection is a
+// sequential request/response stream served on its own goroutine; the
+// coordinator holds one connection per worker, so concurrency only
+// arises across a redial racing a dying connection, and the host's own
+// lock serializes those. Closing the listener closes every active
+// connection before Serve returns. logf, when non-nil, receives one line
+// per connection transition.
+func Serve(lis net.Listener, host transport.Host, logf func(format string, args ...any)) error {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		conns = map[net.Conn]struct{}{}
+	)
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			mu.Lock()
+			for c := range conns {
+				// The readers notice the close; their errors are theirs.
+				_ = c.Close()
+			}
+			mu.Unlock()
+			wg.Wait()
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("tcp: accept: %w", err)
+		}
+		mu.Lock()
+		conns[conn] = struct{}{}
+		mu.Unlock()
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			logf("coordinator connected from %s", conn.RemoteAddr())
+			err := serveConn(conn, host)
+			mu.Lock()
+			delete(conns, conn)
+			mu.Unlock()
+			if err != nil {
+				logf("connection from %s ended: %v", conn.RemoteAddr(), err)
+			} else {
+				logf("connection from %s closed", conn.RemoteAddr())
+			}
+		}(conn)
+	}
+}
+
+// serveConn handshakes and then answers requests until the connection
+// drops. Every request produces exactly one reply frame, in order; this
+// strict alternation is what lets the coordinator treat a batch reply as
+// all-or-nothing when it reroutes work after a loss.
+func serveConn(conn net.Conn, host transport.Host) error {
+	defer func() {
+		// Either the peer is gone or we already have a more precise error.
+		_ = conn.Close()
+	}()
+	reply := func(m *transport.Msg) error {
+		if err := conn.SetWriteDeadline(time.Now().Add(writeTimeout)); err != nil {
+			return err
+		}
+		_, err := transport.WriteFrame(conn, m)
+		return err
+	}
+	hello, _, err := transport.ReadFrame(conn, transport.DefaultMaxFrame)
+	if err != nil {
+		return fmt.Errorf("reading hello: %w", err)
+	}
+	if hello.Type != transport.MsgHello || hello.Proto != transport.ProtoVersion {
+		// Best effort: the handshake failed; the close is the real answer.
+		_ = reply(&transport.Msg{Type: transport.MsgError,
+			Error: fmt.Sprintf("bad handshake: type=%d proto=%d (want hello/%d)", hello.Type, hello.Proto, transport.ProtoVersion)})
+		return fmt.Errorf("bad handshake: type=%d proto=%d", hello.Type, hello.Proto)
+	}
+	if err := reply(&transport.Msg{Type: transport.MsgHelloOK, Proto: transport.ProtoVersion}); err != nil {
+		return fmt.Errorf("writing hello ack: %w", err)
+	}
+	for {
+		req, _, err := transport.ReadFrame(conn, transport.DefaultMaxFrame)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		var resp *transport.Msg
+		switch req.Type {
+		case transport.MsgPing:
+			resp = &transport.Msg{Type: transport.MsgPong}
+		case transport.MsgState:
+			if err := host.Apply(req.State, req.Payload); err != nil {
+				resp = &transport.Msg{Type: transport.MsgError, Error: err.Error()}
+			} else {
+				resp = &transport.Msg{Type: transport.MsgAck}
+			}
+		case transport.MsgRun:
+			resp = runBatch(host, req)
+		default:
+			resp = &transport.Msg{Type: transport.MsgError, Error: fmt.Sprintf("unexpected message type %d", req.Type)}
+		}
+		if err := reply(resp); err != nil {
+			return err
+		}
+	}
+}
+
+// runBatch executes one stage batch. The reply is all-or-nothing: any
+// task failure turns the whole batch into an error frame, so the
+// coordinator never has to reconcile a partially delivered batch.
+func runBatch(host transport.Host, req *transport.Msg) *transport.Msg {
+	outs := make([]transport.TaskOutput, 0, len(req.Tasks))
+	for _, task := range req.Tasks {
+		start := time.Now()
+		payload, err := host.RunTask(req.Spec, task)
+		if err != nil {
+			return &transport.Msg{Type: transport.MsgError,
+				Error: fmt.Sprintf("stage %q task %d: %v", req.Spec.Name, task, err)}
+		}
+		outs = append(outs, transport.TaskOutput{
+			Task:    task,
+			Nanos:   time.Since(start).Nanoseconds(),
+			Payload: payload,
+		})
+	}
+	return &transport.Msg{Type: transport.MsgResult, Outputs: outs}
+}

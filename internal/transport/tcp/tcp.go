@@ -1,0 +1,465 @@
+// Package tcp is the multi-process transport backend: each cluster machine
+// is a separate OS process (cmd/dbtf-worker) speaking the length-prefixed
+// gob protocol of package transport over a TCP connection.
+//
+// The coordinator side (Dial) implements transport.Transport for the
+// driver; the executor side (Serve) pumps frames into a transport.Host.
+// Failure handling mirrors the simulated engine's recovery protocol:
+// a connection error marks the machine down and surfaces as a
+// LivenessEvent at the next stage boundary, its queued work reroutes to
+// the ring-successor live machine, and a machine that redials is replayed
+// the full state history (setup, current factors, columns since) before it
+// is reported back up.
+package tcp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dbtf/internal/transport"
+)
+
+// Config configures Dial.
+type Config struct {
+	// Addrs lists the worker addresses; machine m is Addrs[m].
+	Addrs []string
+	// DialTimeout bounds each connection attempt. Default 5s.
+	DialTimeout time.Duration
+	// CallTimeout bounds one request/response exchange and is therefore
+	// the loss detector: a worker that does not answer within it is
+	// treated as lost. It must cover the slowest single stage batch.
+	// Default 2m.
+	CallTimeout time.Duration
+	// RedialBackoff is the minimum interval between reconnection attempts
+	// to a down worker. Default 250ms.
+	RedialBackoff time.Duration
+	// MaxFrame bounds accepted frame sizes. Default transport.DefaultMaxFrame.
+	MaxFrame int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.CallTimeout == 0 {
+		c.CallTimeout = 2 * time.Minute
+	}
+	if c.RedialBackoff == 0 {
+		c.RedialBackoff = 250 * time.Millisecond
+	}
+	if c.MaxFrame == 0 {
+		c.MaxFrame = transport.DefaultMaxFrame
+	}
+	return c
+}
+
+// errDown distinguishes connection-level failures (reroute the batch,
+// report the machine lost) from executor-reported errors (fatal to the
+// run, connection still healthy).
+var errDown = errors.New("tcp: worker connection down")
+
+// remoteError is an error the executor reported over a healthy
+// connection: a failed task or a rejected state push.
+type remoteError struct{ msg string }
+
+func (e *remoteError) Error() string { return e.msg }
+
+// worker is the coordinator's view of one machine.
+type worker struct {
+	addr string
+	mu   sync.Mutex
+	// conn is nil while the worker is down.
+	conn     net.Conn
+	lastDial time.Time
+}
+
+// Coordinator implements transport.Transport over per-worker TCP
+// connections. The driver calls it from one goroutine; internal
+// concurrency (parallel stage batches) is confined to Run.
+type Coordinator struct {
+	cfg     Config
+	workers []*worker
+
+	// pending accumulates liveness transitions detected since the last
+	// Membership call, in detection order.
+	pmu     sync.Mutex
+	pending []transport.LivenessEvent
+
+	// Replay log for rejoining workers: the setup blob, the latest factor
+	// snapshot, and the column commits since that snapshot.
+	setup   []byte
+	factors []byte
+	columns [][]byte
+
+	sent  atomic.Int64
+	recvd atomic.Int64
+}
+
+// Dial connects to every worker and performs the protocol handshake.
+// All-or-nothing: if any worker is unreachable the whole dial fails, so a
+// run never silently starts degraded.
+func Dial(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Addrs) == 0 {
+		return nil, errors.New("tcp: no worker addresses")
+	}
+	c := &Coordinator{cfg: cfg}
+	for _, addr := range cfg.Addrs {
+		c.workers = append(c.workers, &worker{addr: addr})
+	}
+	for m, w := range c.workers {
+		if err := c.dialWorker(m, w); err != nil {
+			if cerr := c.Close(); cerr != nil {
+				return nil, fmt.Errorf("%w (and closing dialed workers: %v)", err, cerr)
+			}
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// dialWorker connects and handshakes machine m. Caller must not hold w.mu.
+func (c *Coordinator) dialWorker(m int, w *worker) error {
+	conn, err := net.DialTimeout("tcp", w.addr, c.cfg.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("tcp: dial worker %d (%s): %w", m, w.addr, err)
+	}
+	hello := &transport.Msg{
+		Type:     transport.MsgHello,
+		Proto:    transport.ProtoVersion,
+		Machine:  m,
+		Machines: len(c.workers),
+	}
+	resp, err := c.exchange(conn, hello)
+	if err != nil {
+		if cerr := conn.Close(); cerr != nil {
+			err = fmt.Errorf("%w (and closing: %v)", err, cerr)
+		}
+		return fmt.Errorf("tcp: handshake with worker %d (%s): %w", m, w.addr, err)
+	}
+	if resp.Type != transport.MsgHelloOK {
+		if cerr := conn.Close(); cerr != nil {
+			return fmt.Errorf("tcp: worker %d (%s) rejected handshake: %s (and closing: %v)", m, w.addr, resp.Error, cerr)
+		}
+		return fmt.Errorf("tcp: worker %d (%s) rejected handshake: %s", m, w.addr, resp.Error)
+	}
+	w.mu.Lock()
+	w.conn = conn
+	w.lastDial = time.Now()
+	w.mu.Unlock()
+	return nil
+}
+
+// exchange writes one frame and reads one reply on a raw connection,
+// under the call timeout, charging the wire counters.
+func (c *Coordinator) exchange(conn net.Conn, m *transport.Msg) (*transport.Msg, error) {
+	if err := conn.SetDeadline(time.Now().Add(c.cfg.CallTimeout)); err != nil {
+		return nil, err
+	}
+	n, err := transport.WriteFrame(conn, m)
+	c.sent.Add(int64(n))
+	if err != nil {
+		return nil, err
+	}
+	resp, rn, err := transport.ReadFrame(conn, c.cfg.MaxFrame)
+	c.recvd.Add(int64(rn))
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// call performs one request/response with machine m. A connection-level
+// failure marks the machine down and returns errDown; an executor-reported
+// error returns a *remoteError with the connection kept alive.
+func (c *Coordinator) call(m int, msg *transport.Msg) (*transport.Msg, error) {
+	w := c.workers[m]
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.conn == nil {
+		return nil, errDown
+	}
+	resp, err := c.exchange(w.conn, msg)
+	if err != nil {
+		c.markDownLocked(m, w)
+		return nil, fmt.Errorf("%w: machine %d: %v", errDown, m, err)
+	}
+	if resp.Type == transport.MsgError {
+		return nil, &remoteError{msg: fmt.Sprintf("worker %d: %s", m, resp.Error)}
+	}
+	return resp, nil
+}
+
+// markDownLocked closes machine m's connection and queues the loss event.
+// Caller holds w.mu.
+func (c *Coordinator) markDownLocked(m int, w *worker) {
+	if w.conn == nil {
+		return
+	}
+	// The connection is already broken; a close error adds nothing.
+	_ = w.conn.Close()
+	w.conn = nil
+	c.pmu.Lock()
+	c.pending = append(c.pending, transport.LivenessEvent{Machine: m, Up: false})
+	c.pmu.Unlock()
+}
+
+func (c *Coordinator) alive(m int) bool {
+	w := c.workers[m]
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.conn != nil
+}
+
+// Machines implements transport.Transport.
+func (c *Coordinator) Machines() int { return len(c.workers) }
+
+// WireBytes implements transport.Transport.
+func (c *Coordinator) WireBytes() (int64, int64) { return c.sent.Load(), c.recvd.Load() }
+
+// Close tears down every worker connection.
+func (c *Coordinator) Close() error {
+	var first error
+	for _, w := range c.workers {
+		w.mu.Lock()
+		if w.conn != nil {
+			if err := w.conn.Close(); err != nil && first == nil {
+				first = err
+			}
+			w.conn = nil
+		}
+		w.mu.Unlock()
+	}
+	return first
+}
+
+// Membership implements transport.Transport: it reports the liveness
+// transitions since the last stage boundary. Losses detected mid-stage
+// were queued by call; here the coordinator additionally pings live
+// workers (catching silent deaths between stages) and attempts to redial
+// down workers, replaying the state history before reporting them up.
+func (c *Coordinator) Membership(ctx context.Context) []transport.LivenessEvent {
+	for m := range c.workers {
+		if !c.alive(m) {
+			continue
+		}
+		// A failed ping queues the loss itself via call → markDownLocked.
+		if _, err := c.call(m, &transport.Msg{Type: transport.MsgPing}); err == nil {
+			continue
+		}
+	}
+	for m, w := range c.workers {
+		if c.alive(m) || ctx.Err() != nil {
+			continue
+		}
+		w.mu.Lock()
+		recent := time.Since(w.lastDial) < c.cfg.RedialBackoff
+		w.mu.Unlock()
+		if recent {
+			continue
+		}
+		w.mu.Lock()
+		w.lastDial = time.Now()
+		w.mu.Unlock()
+		if err := c.dialWorker(m, w); err != nil {
+			continue // still down; try again next boundary
+		}
+		if err := c.replay(m); err != nil {
+			// Replay failure re-queued the loss (connection) or means the
+			// worker is misbehaving (remote error) — drop the connection
+			// either way and retry at a later boundary.
+			w.mu.Lock()
+			c.markDownLocked(m, w)
+			w.mu.Unlock()
+			continue
+		}
+		c.pmu.Lock()
+		c.pending = append(c.pending, transport.LivenessEvent{Machine: m, Up: true})
+		c.pmu.Unlock()
+	}
+	c.pmu.Lock()
+	ev := c.pending
+	c.pending = nil
+	c.pmu.Unlock()
+	return ev
+}
+
+// replay ships the recorded state history to a freshly redialed machine:
+// the rejoin path of the recovery protocol. The setup replay resets the
+// worker, so replaying to a process that never actually died is safe.
+func (c *Coordinator) replay(m int) error {
+	push := func(kind transport.StateKind, payload []byte) error {
+		if payload == nil {
+			return nil
+		}
+		resp, err := c.call(m, &transport.Msg{Type: transport.MsgState, State: kind, Payload: payload})
+		if err != nil {
+			return err
+		}
+		if resp.Type != transport.MsgAck {
+			return &remoteError{msg: fmt.Sprintf("worker %d: unexpected reply %d to state replay", m, resp.Type)}
+		}
+		return nil
+	}
+	if err := push(transport.StateSetup, c.setup); err != nil {
+		return err
+	}
+	if err := push(transport.StateFactors, c.factors); err != nil {
+		return err
+	}
+	for _, col := range c.columns {
+		if err := push(transport.StateColumn, col); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PushState implements transport.Transport: record the blob in the replay
+// log, then ship it to every live worker. Workers that fail mid-push are
+// marked down (they will be replayed the same blob on rejoin); the push
+// only errors if an executor rejects the state or no live workers remain.
+func (c *Coordinator) PushState(ctx context.Context, kind transport.StateKind, payload []byte) error {
+	switch kind {
+	case transport.StateSetup:
+		c.setup, c.factors, c.columns = payload, nil, nil
+	case transport.StateFactors:
+		c.factors, c.columns = payload, nil
+	case transport.StateColumn:
+		c.columns = append(c.columns, payload)
+	}
+	live := 0
+	for m := range c.workers {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !c.alive(m) {
+			continue
+		}
+		resp, err := c.call(m, &transport.Msg{Type: transport.MsgState, State: kind, Payload: payload})
+		switch {
+		case errors.Is(err, errDown):
+			continue
+		case err != nil:
+			return fmt.Errorf("tcp: state push (%s): %w", kind, err)
+		case resp.Type != transport.MsgAck:
+			return fmt.Errorf("tcp: state push (%s): worker %d replied %d, want ack", kind, m, resp.Type)
+		}
+		live++
+	}
+	if live == 0 {
+		return fmt.Errorf("tcp: state push (%s): no live workers", kind)
+	}
+	return nil
+}
+
+// batch is one machine's share of a stage: the tasks whose home is that
+// machine, executed wherever the ring currently routes them.
+type batch struct {
+	home  int
+	tasks []int
+}
+
+type batchOutcome struct {
+	b    batch
+	outs []transport.TaskOutput
+	exec int
+	err  error
+}
+
+// executorFor routes a batch: the home machine if it is live, else the
+// first live ring successor — the same successor rule the cluster engine's
+// reassignment uses, so simulated and real reassignment agree.
+func (c *Coordinator) executorFor(home int) (int, error) {
+	n := len(c.workers)
+	for i := 0; i < n; i++ {
+		m := (home + i) % n
+		if c.alive(m) {
+			return m, nil
+		}
+	}
+	return 0, errors.New("tcp: no live workers")
+}
+
+// Run implements transport.Transport: partition the stage's tasks into
+// per-home-machine batches, execute the batches concurrently, and deliver
+// results sequentially. A batch whose connection dies is relaunched on the
+// ring successor; executor replies are all-or-nothing per batch, so a
+// retried batch never double-delivers.
+func (c *Coordinator) Run(ctx context.Context, spec transport.Spec, deliver func(transport.TaskResult) error) error {
+	n := len(c.workers)
+	byHome := make([][]int, n)
+	for t := 0; t < spec.Tasks; t++ {
+		byHome[t%n] = append(byHome[t%n], t)
+	}
+	var queue []batch
+	for home, tasks := range byHome {
+		if len(tasks) > 0 {
+			queue = append(queue, batch{home: home, tasks: tasks})
+		}
+	}
+	for round := 0; len(queue) > 0; round++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if round > n {
+			return errors.New("tcp: stage retries exceeded machine count")
+		}
+		results := make(chan batchOutcome, len(queue))
+		for _, b := range queue {
+			exec, err := c.executorFor(b.home)
+			if err != nil {
+				return fmt.Errorf("tcp: stage %q: %w", spec.Name, err)
+			}
+			go func(b batch, exec int) {
+				resp, err := c.call(exec, &transport.Msg{Type: transport.MsgRun, Spec: spec, Tasks: b.tasks})
+				if err != nil {
+					results <- batchOutcome{b: b, exec: exec, err: err}
+					return
+				}
+				if resp.Type != transport.MsgResult || len(resp.Outputs) != len(b.tasks) {
+					results <- batchOutcome{b: b, exec: exec,
+						err: &remoteError{msg: fmt.Sprintf("worker %d: malformed stage reply", exec)}}
+					return
+				}
+				results <- batchOutcome{b: b, exec: exec, outs: resp.Outputs}
+			}(b, exec)
+		}
+		var requeue []batch
+		var fatal error
+		for range queue {
+			o := <-results
+			switch {
+			case errors.Is(o.err, errDown):
+				requeue = append(requeue, o.b)
+			case o.err != nil:
+				if fatal == nil {
+					fatal = o.err
+				}
+			case fatal == nil:
+				for _, out := range o.outs {
+					if err := deliver(transport.TaskResult{
+						Task:    out.Task,
+						Machine: o.exec,
+						Nanos:   out.Nanos,
+						Payload: out.Payload,
+					}); err != nil && fatal == nil {
+						fatal = err
+					}
+				}
+			}
+		}
+		if fatal != nil {
+			return fatal
+		}
+		queue = requeue
+	}
+	return nil
+}
+
+var _ transport.Transport = (*Coordinator)(nil)

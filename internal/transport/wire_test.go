@@ -1,0 +1,113 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	msgs := []*Msg{
+		{Type: MsgHello, Proto: ProtoVersion, Machine: 2, Machines: 4},
+		{Type: MsgState, State: StateFactors, Payload: []byte{1, 2, 3}},
+		{Type: MsgRun, Spec: Spec{Name: "eval:A", Kind: KindEval, Mode: 0, Col: 7, Tasks: 5}, Tasks: []int{0, 3}},
+		{Type: MsgResult, Outputs: []TaskOutput{{Task: 3, Nanos: 42, Payload: []byte{9}}, {Task: 0, Nanos: 1}}},
+		{Type: MsgError, Error: "boom"},
+		{Type: MsgPing},
+	}
+	var buf bytes.Buffer
+	var written int
+	for _, m := range msgs {
+		n, err := WriteFrame(&buf, m)
+		if err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+		written += n
+	}
+	if written != buf.Len() {
+		t.Fatalf("WriteFrame reported %d bytes, buffer holds %d", written, buf.Len())
+	}
+	var read int
+	for i, want := range msgs {
+		got, n, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		read += n
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if read != written {
+		t.Fatalf("ReadFrame consumed %d bytes of %d written", read, written)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteFrame(&buf, &Msg{Type: MsgPing}); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for cut := 0; cut < len(whole); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(whole[:cut]), 0)
+		if err == nil {
+			t.Fatalf("truncation at %d of %d bytes decoded successfully", cut, len(whole))
+		}
+	}
+}
+
+func TestReadFrameOversizedPrefix(t *testing.T) {
+	// A prefix claiming far more than the limit must be rejected before any
+	// body allocation.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<31-1)
+	_, _, err := ReadFrame(bytes.NewReader(hdr[:]), 1<<20)
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized prefix: got %v, want limit error", err)
+	}
+
+	// A prefix within the limit but backed by a short stream must error
+	// after reading what exists, not allocate the full claimed size.
+	frame := append(hdr[:0:0], 0, 1, 0, 0) // claims 64 KiB
+	frame = append(frame, make([]byte, 10)...)
+	_, _, err = ReadFrame(bytes.NewReader(frame), 1<<20)
+	if err == nil || !strings.Contains(err.Error(), "truncated frame body") {
+		t.Fatalf("short body: got %v, want truncation error", err)
+	}
+}
+
+func TestReadFrameGarbageAndTrailing(t *testing.T) {
+	garbage := []byte{0, 0, 0, 4, 0xde, 0xad, 0xbe, 0xef}
+	if _, _, err := ReadFrame(bytes.NewReader(garbage), 0); err == nil {
+		t.Fatal("garbage body decoded successfully")
+	}
+
+	var buf bytes.Buffer
+	if _, err := WriteFrame(&buf, &Msg{Type: MsgPong}); err != nil {
+		t.Fatal(err)
+	}
+	// Inflate the declared length so the gob body ends before the frame
+	// does: the decoder must reject the trailing bytes.
+	b := append([]byte(nil), buf.Bytes()...)
+	b = append(b, 0, 0, 0)
+	binary.BigEndian.PutUint32(b, uint32(len(b)-4))
+	_, _, err := ReadFrame(bytes.NewReader(b), 0)
+	if err == nil || !strings.Contains(err.Error(), "trailing bytes") {
+		t.Fatalf("padded frame: got %v, want trailing-bytes error", err)
+	}
+
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0}), 0); err == nil {
+		t.Fatal("empty frame decoded successfully")
+	}
+}
+
+func TestReadFrameEOF(t *testing.T) {
+	_, _, err := ReadFrame(bytes.NewReader(nil), 0)
+	if err != io.EOF {
+		t.Fatalf("empty stream: got %v, want io.EOF", err)
+	}
+}
