@@ -39,8 +39,9 @@ var factorizeBenches = []factorizeBench{
 	{"FactorizeDim128", 128, 0.02, 8},
 }
 
-func (fb factorizeBench) options() dbtf.Options {
-	return dbtf.Options{Rank: fb.Rank, Machines: 4, MaxIter: 5, MinIter: 5, Seed: 1}
+func (fb factorizeBench) options(threads int) dbtf.Options {
+	return dbtf.Options{Rank: fb.Rank, Machines: 4, MaxIter: 5, MinIter: 5, Seed: 1,
+		ThreadsPerMachine: threads}
 }
 
 func (fb factorizeBench) tensor() *dbtf.Tensor {
@@ -63,6 +64,11 @@ type BenchRecord struct {
 	// snapshots are diffed.
 	NNZ   int   `json:"nnz"`
 	Error int64 `json:"error"`
+	// ThreadsPerMachine is the run's Options.ThreadsPerMachine: 1 is the
+	// pinned single-thread row, >1 a multicore row of the same workload
+	// (same NNZ and Error — the kernels are thread-count-invariant).
+	// Absent (0) in snapshots written before the field existed, meaning 1.
+	ThreadsPerMachine int `json:"threads_per_machine,omitempty"`
 }
 
 // BenchSnapshot is the top-level BENCH_<n>.json document.
@@ -96,9 +102,13 @@ func nextBenchIndex(dir string) (int, error) {
 	return next, nil
 }
 
-// runJSONBench measures every Factorize micro-benchmark and writes the
-// snapshot to dir, returning the written path.
-func runJSONBench(dir string, progress *os.File) (string, error) {
+// runJSONBench measures every Factorize micro-benchmark — the pinned
+// single-thread rows plus, when threads > 1, a multicore row per workload
+// — and writes the snapshot to dir, returning the written path. The
+// multicore rows must reproduce the pinned rows' Error exactly; a
+// divergence means the parallel kernels broke determinism and fails the
+// run.
+func runJSONBench(dir string, threads int, progress *os.File) (string, error) {
 	idx, err := nextBenchIndex(dir)
 	if err != nil {
 		return "", err
@@ -109,37 +119,51 @@ func runJSONBench(dir string, progress *os.File) (string, error) {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
+	threadRows := []int{1}
+	if threads > 1 {
+		threadRows = append(threadRows, threads)
+	}
 	for _, fb := range factorizeBenches {
 		x := fb.tensor()
-		opt := fb.options()
-		// One instrumented run for the simulated makespan and the result
-		// fingerprint, outside the timed loop.
-		res, err := dbtf.Factorize(context.Background(), x, opt)
-		if err != nil {
-			return "", fmt.Errorf("%s: %w", fb.Name, err)
-		}
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if _, err := dbtf.Factorize(context.Background(), x, opt); err != nil {
-					b.Fatal(err)
-				}
+		var pinnedError int64
+		for _, tpm := range threadRows {
+			opt := fb.options(tpm)
+			// One instrumented run for the simulated makespan and the
+			// result fingerprint, outside the timed loop.
+			res, err := dbtf.Factorize(context.Background(), x, opt)
+			if err != nil {
+				return "", fmt.Errorf("%s: %w", fb.Name, err)
 			}
-		})
-		rec := BenchRecord{
-			Name:          fb.Name,
-			Iterations:    r.N,
-			NsPerOp:       float64(r.T.Nanoseconds()) / float64(r.N),
-			BytesPerOp:    r.AllocedBytesPerOp(),
-			AllocsPerOp:   r.AllocsPerOp(),
-			SimMakespanNs: res.SimTime.Nanoseconds(),
-			NNZ:           x.NNZ(),
-			Error:         res.Error,
-		}
-		snap.Benches = append(snap.Benches, rec)
-		if progress != nil {
-			fmt.Fprintf(progress, "%-16s %12.0f ns/op %8d allocs/op %10d B/op  sim %v  err %d\n",
-				rec.Name, rec.NsPerOp, rec.AllocsPerOp, rec.BytesPerOp, res.SimTime.Round(time.Microsecond), rec.Error)
+			if tpm == 1 {
+				pinnedError = res.Error
+			} else if res.Error != pinnedError {
+				return "", fmt.Errorf("%s: error %d at %d threads, %d pinned — parallel kernels broke determinism",
+					fb.Name, res.Error, tpm, pinnedError)
+			}
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := dbtf.Factorize(context.Background(), x, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			rec := BenchRecord{
+				Name:              fb.Name,
+				Iterations:        r.N,
+				NsPerOp:           float64(r.T.Nanoseconds()) / float64(r.N),
+				BytesPerOp:        r.AllocedBytesPerOp(),
+				AllocsPerOp:       r.AllocsPerOp(),
+				SimMakespanNs:     res.SimTime.Nanoseconds(),
+				NNZ:               x.NNZ(),
+				Error:             res.Error,
+				ThreadsPerMachine: tpm,
+			}
+			snap.Benches = append(snap.Benches, rec)
+			if progress != nil {
+				fmt.Fprintf(progress, "%-16s T=%-2d %12.0f ns/op %8d allocs/op %10d B/op  sim %v  err %d\n",
+					rec.Name, tpm, rec.NsPerOp, rec.AllocsPerOp, rec.BytesPerOp, res.SimTime.Round(time.Microsecond), rec.Error)
+			}
 		}
 	}
 	path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", idx))
@@ -152,4 +176,62 @@ func runJSONBench(dir string, progress *os.File) (string, error) {
 		return "", err
 	}
 	return path, nil
+}
+
+// loadSnapshot reads one BENCH_<n>.json document.
+func loadSnapshot(path string) (*BenchSnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap BenchSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// threadsKey normalizes the pre-field snapshots: absent means pinned.
+func threadsKey(t int) int {
+	if t < 1 {
+		return 1
+	}
+	return t
+}
+
+// compareSnapshots is the regression gate behind -compare: every record of
+// cur whose (name, threads) pair also appears in prev must not regress
+// ns/op by more than maxGrowth (0.10 = +10%), and must reproduce prev's
+// workload fingerprint (NNZ, Error) exactly. Records without a
+// counterpart — e.g. a new multicore row — pass vacuously. Returns one
+// line per violation, empty when the gate passes.
+func compareSnapshots(cur, prev *BenchSnapshot, maxGrowth float64) []string {
+	type key struct {
+		name    string
+		threads int
+	}
+	prevBy := make(map[key]BenchRecord, len(prev.Benches))
+	for _, r := range prev.Benches {
+		prevBy[key{r.Name, threadsKey(r.ThreadsPerMachine)}] = r
+	}
+	var violations []string
+	for _, r := range cur.Benches {
+		p, ok := prevBy[key{r.Name, threadsKey(r.ThreadsPerMachine)}]
+		if !ok {
+			continue
+		}
+		if r.NNZ != p.NNZ || r.Error != p.Error {
+			violations = append(violations, fmt.Sprintf(
+				"%s (T=%d): workload fingerprint changed: nnz %d→%d, error %d→%d",
+				r.Name, threadsKey(r.ThreadsPerMachine), p.NNZ, r.NNZ, p.Error, r.Error))
+			continue
+		}
+		if limit := p.NsPerOp * (1 + maxGrowth); r.NsPerOp > limit {
+			violations = append(violations, fmt.Sprintf(
+				"%s (T=%d): %.0f ns/op vs %.0f baseline (+%.1f%% > +%.0f%% allowed)",
+				r.Name, threadsKey(r.ThreadsPerMachine), r.NsPerOp, p.NsPerOp,
+				100*(r.NsPerOp/p.NsPerOp-1), 100*maxGrowth))
+		}
+	}
+	return violations
 }

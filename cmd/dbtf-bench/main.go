@@ -7,7 +7,7 @@
 //	dbtf-bench -list
 //	dbtf-bench -exp fig1a [-budget 30s] [-machines 16] [-scale 1.0]
 //	dbtf-bench -exp all
-//	dbtf-bench -json [-out DIR]     # write a BENCH_<n>.json regression snapshot
+//	dbtf-bench -json [-out DIR] [-threads T] [-compare BENCH_<n>.json]
 package main
 
 import (
@@ -39,6 +39,8 @@ func run(args []string) error {
 		verbose  = fs.Bool("v", false, "print per-run progress")
 		jsonOut  = fs.Bool("json", false, "run the Factorize micro-benchmarks and write a BENCH_<n>.json snapshot")
 		outDir   = fs.String("out", ".", "output directory for -json snapshots")
+		threads  = fs.Int("threads", 1, "with -json: also record multicore rows at this ThreadsPerMachine")
+		compare  = fs.String("compare", "", "with -json: fail if any Factorize bench regresses >10% ns/op vs this BENCH_<n>.json")
 		traceOut = fs.String("trace", "", "write a structured trace of every DBTF run to this file")
 		traceFmt = fs.String("trace-format", "jsonl", "trace format: jsonl or chrome")
 	)
@@ -57,12 +59,32 @@ func run(args []string) error {
 		if !*verbose {
 			progress = nil
 		}
-		path, err := runJSONBench(*outDir, progress)
+		path, err := runJSONBench(*outDir, *threads, progress)
 		if err != nil {
 			return err
 		}
 		fmt.Println(path)
+		if *compare != "" {
+			prev, err := loadSnapshot(*compare)
+			if err != nil {
+				return err
+			}
+			cur, err := loadSnapshot(path)
+			if err != nil {
+				return err
+			}
+			if violations := compareSnapshots(cur, prev, 0.10); len(violations) > 0 {
+				for _, v := range violations {
+					fmt.Fprintln(os.Stderr, "regression:", v)
+				}
+				return fmt.Errorf("%d benchmark regression(s) vs %s", len(violations), *compare)
+			}
+			fmt.Fprintf(os.Stderr, "no regressions vs %s\n", *compare)
+		}
 		return nil
+	}
+	if *compare != "" {
+		return fmt.Errorf("-compare requires -json")
 	}
 
 	if *list {

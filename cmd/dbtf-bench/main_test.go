@@ -26,3 +26,37 @@ func TestRunTable3(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCompareRequiresJSON(t *testing.T) {
+	if err := run([]string{"-compare", "BENCH_0.json"}); err == nil {
+		t.Fatal("-compare without -json accepted")
+	}
+}
+
+func snapOf(recs ...BenchRecord) *BenchSnapshot { return &BenchSnapshot{Benches: recs} }
+
+func TestCompareSnapshotsGate(t *testing.T) {
+	base := BenchRecord{Name: "FactorizeDim32", NsPerOp: 1000, NNZ: 5, Error: 3}
+	cases := []struct {
+		name       string
+		cur        BenchRecord
+		violations int
+	}{
+		{"within budget", BenchRecord{Name: "FactorizeDim32", NsPerOp: 1099, NNZ: 5, Error: 3}, 0},
+		{"faster", BenchRecord{Name: "FactorizeDim32", NsPerOp: 500, NNZ: 5, Error: 3}, 0},
+		{"regressed", BenchRecord{Name: "FactorizeDim32", NsPerOp: 1200, NNZ: 5, Error: 3}, 1},
+		{"result changed", BenchRecord{Name: "FactorizeDim32", NsPerOp: 900, NNZ: 5, Error: 4}, 1},
+		{"new bench passes vacuously", BenchRecord{Name: "FactorizeDim256", NsPerOp: 9e9, NNZ: 1, Error: 1}, 0},
+		// A multicore row has no counterpart in a pinned-only baseline.
+		{"new multicore row", BenchRecord{Name: "FactorizeDim32", NsPerOp: 9e9, NNZ: 5, Error: 3, ThreadsPerMachine: 4}, 0},
+		// threads_per_machine absent in old snapshots means pinned: the
+		// explicit T=1 row still matches it.
+		{"explicit T=1 matches legacy", BenchRecord{Name: "FactorizeDim32", NsPerOp: 1200, NNZ: 5, Error: 3, ThreadsPerMachine: 1}, 1},
+	}
+	for _, tc := range cases {
+		got := compareSnapshots(snapOf(tc.cur), snapOf(base), 0.10)
+		if len(got) != tc.violations {
+			t.Errorf("%s: %d violations %v, want %d", tc.name, len(got), got, tc.violations)
+		}
+	}
+}

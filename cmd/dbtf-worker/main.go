@@ -40,8 +40,9 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dbtf-worker", flag.ContinueOnError)
 	var (
-		listen = fs.String("listen", "127.0.0.1:0", "address to listen on (port 0 picks an ephemeral port)")
-		quiet  = fs.Bool("q", false, "suppress per-connection log lines")
+		listen  = fs.String("listen", "127.0.0.1:0", "address to listen on (port 0 picks an ephemeral port)")
+		threads = fs.Int("threads", 1, "OS threads this machine may use inside a stage batch (results are identical for any value)")
+		quiet   = fs.Bool("q", false, "suppress per-connection log lines")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,5 +59,5 @@ func run(args []string) error {
 	if *quiet {
 		logf = nil
 	}
-	return tcp.Serve(lis, core.NewWorker(), logf)
+	return tcp.Serve(lis, core.NewWorkerThreads(*threads), logf)
 }

@@ -38,6 +38,7 @@ func run(args []string) error {
 		rank       = fs.Int("rank", 10, "decomposition rank R")
 		maxIter    = fs.Int("maxiter", 10, "maximum iterations T")
 		machines   = fs.Int("machines", 16, "simulated cluster size M (dbtf)")
+		threads    = fs.Int("threads", 1, "OS threads per simulated machine for intra-task row parallelism (dbtf, -transport sim; results are identical for any value)")
 		partitions = fs.Int("partitions", 0, "vertical partitions N (dbtf; 0 = machines)")
 		sets       = fs.Int("sets", 1, "initial factor sets L (dbtf)")
 		groupBits  = fs.Int("groupbits", 15, "cache group bits V (dbtf)")
@@ -198,19 +199,20 @@ func run(args []string) error {
 			tracer = dbtf.NewTracer(sink)
 		}
 		opts := dbtf.Options{
-			Rank:           *rank,
-			MaxIter:        *maxIter,
-			InitialSets:    *sets,
-			Machines:       *machines,
-			Workers:        workerAddrs,
-			Partitions:     *partitions,
-			CacheGroupBits: *groupBits,
-			Seed:           *seed,
-			MaxRetries:     *maxRetries,
-			FailFast:       *failFast,
-			Faults:         faults,
-			Trace:          trace,
-			Tracer:         tracer,
+			Rank:              *rank,
+			MaxIter:           *maxIter,
+			InitialSets:       *sets,
+			Machines:          *machines,
+			ThreadsPerMachine: *threads,
+			Workers:           workerAddrs,
+			Partitions:        *partitions,
+			CacheGroupBits:    *groupBits,
+			Seed:              *seed,
+			MaxRetries:        *maxRetries,
+			FailFast:          *failFast,
+			Faults:            faults,
+			Trace:             trace,
+			Tracer:            tracer,
 		}
 		if *ckDir != "" {
 			opts.CheckpointDir = *ckDir

@@ -75,6 +75,16 @@ type Options struct {
 	// run with the same machine count. Incompatible with Faults (fault
 	// injection is a property of the simulated backend).
 	Workers []string
+	// ThreadsPerMachine is the number of OS threads T each simulated
+	// machine may use inside a single task: column evaluations split
+	// their row ranges T ways across a per-machine worker pool. Results
+	// are bit-identical for every T; only wall-clock time changes. The
+	// simulated-time ledger still charges single-thread semantics (the
+	// wall time the pool saves is charged back to its machine), so
+	// SimTime models the same M-machine cluster regardless of T. Default
+	// 1. Ignored when Workers is set — each TCP worker process picks its
+	// own width via cmd/dbtf-worker's -threads flag.
+	ThreadsPerMachine int
 	// Partitions is the number of vertical partitions N per unfolded
 	// tensor. Default: Machines.
 	Partitions int
@@ -207,12 +217,13 @@ func Factorize(ctx context.Context, x *Tensor, opt Options) (out *Result, err er
 		trans = co
 	}
 	cl := cluster.New(cluster.Config{
-		Machines:   machines,
-		MaxRetries: opt.MaxRetries,
-		FailFast:   opt.FailFast,
-		Faults:     opt.Faults,
-		Transport:  trans,
-		Tracer:     opt.Tracer,
+		Machines:          machines,
+		ThreadsPerMachine: opt.ThreadsPerMachine,
+		MaxRetries:        opt.MaxRetries,
+		FailFast:          opt.FailFast,
+		Faults:            opt.Faults,
+		Transport:         trans,
+		Tracer:            opt.Tracer,
 	})
 	res, err := core.Decompose(ctx, x, cl, core.Options{
 		Rank:            opt.Rank,

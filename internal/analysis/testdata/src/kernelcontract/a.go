@@ -77,3 +77,68 @@ func leakyCount(a []uint64) []uint64 {
 func unannotated(n int) []uint64 {
 	return make([]uint64, n)
 }
+
+// The parallel-kernel shape: a hot evaluation that fans its shards out
+// through a prebuilt worker-pool closure. The closure and the shard split
+// are built once at task-construction time; the noalloc body only stages
+// state and makes method calls, which the analyzer accepts.
+
+type pool struct{ threads int }
+
+func (p *pool) Run(n int, fn func(int)) {
+	for s := 0; s < n; s++ {
+		fn(s)
+	}
+}
+
+type shard struct{ lo, hi int }
+
+type task struct {
+	col      int
+	deltas   []int64
+	shards   []shard
+	pool     *pool
+	runShard func(int)
+}
+
+// goodParallelEval stages the column and hands the prebuilt closure to the
+// pool — no allocation, no go statement, no fresh func literal.
+//
+//dbtf:noalloc
+func goodParallelEval(t *task, c int) {
+	if len(t.shards) == 1 {
+		t.evalRows(c, &t.shards[0])
+		return
+	}
+	t.col = c
+	t.pool.Run(len(t.shards), t.runShard)
+}
+
+//dbtf:noalloc
+func (t *task) evalRows(c int, sh *shard) {
+	for r := sh.lo; r < sh.hi; r++ {
+		t.deltas[r] = int64(c)
+	}
+}
+
+// badParallelEval builds the shard closure inside the hot body and spawns
+// bare goroutines per shard — both are per-column allocations.
+//
+//dbtf:noalloc
+func badParallelEval(t *task, c int) {
+	fn := func(s int) { t.evalRows(c, &t.shards[s]) } // want `function literal in badParallelEval`
+	for s := range t.shards {
+		go fn(s) // want `go statement in badParallelEval`
+	}
+}
+
+// badShardSplit re-splits the row range on every evaluation instead of at
+// build time.
+//
+//dbtf:noalloc
+func badShardSplit(t *task, rows, n int) {
+	t.shards = make([]shard, n) // want `make in badShardSplit`
+	for s := range t.shards {
+		t.shards[s] = shard{lo: rows * s / n, hi: rows * (s + 1) / n} // want `composite literal in badShardSplit`
+	}
+}

@@ -152,7 +152,7 @@ func initFactor(ctx context.Context, u *tensor.Unfolded, opt Options) (*boolmat.
 	for r := 0; r < u.NumRows; r++ {
 		row := dense.Row(r)
 		for _, c := range u.Row(r) {
-			row.Set(c)
+			row.Set(int(c))
 		}
 	}
 	res, err := asso.Factorize(ctx, dense, asso.Options{
@@ -172,7 +172,7 @@ func initFactor(ctx context.Context, u *tensor.Unfolded, opt Options) (*boolmat.
 func denseRows(u *tensor.Unfolded) []*bitvec.BitVec {
 	rows := make([]*bitvec.BitVec, u.NumRows)
 	for r := 0; r < u.NumRows; r++ {
-		rows[r] = bitvec.FromIndices(u.NumCols, u.Row(r))
+		rows[r] = bitvec.FromIndices32(u.NumCols, u.Row(r))
 	}
 	return rows
 }

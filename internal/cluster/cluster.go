@@ -70,6 +70,14 @@ type Config struct {
 	// min(Machines, GOMAXPROCS); measured task durations then approximate
 	// dedicated-core execution.
 	Parallelism int
+	// ThreadsPerMachine is the number of OS threads T each logical
+	// machine's executor may use inside a single task (intra-task
+	// parallelism; see Pool). Real wall-clock execution of shardable
+	// kernels speeds up by up to T while the simulated clock still
+	// charges single-thread semantics: the wall time a pool saves is
+	// drained back into the owning machine's task charges. Zero and one
+	// mean sequential tasks.
+	ThreadsPerMachine int
 	// Network prices simulated communication. Zero value means
 	// DefaultNetwork.
 	Network NetworkModel
@@ -179,8 +187,13 @@ type Stats struct {
 
 // Cluster is a simulated multi-machine execution engine.
 type Cluster struct {
-	machines     int
-	parallelism  int
+	machines    int
+	parallelism int
+	threads     int
+	// pools[m] is machine m's intra-task worker pool; nil slice when
+	// ThreadsPerMachine <= 1 (every PoolFor is then nil, which Pool
+	// methods treat as sequential). Immutable after New.
+	pools        []*Pool
 	network      NetworkModel
 	maxRetries   int
 	retryBackoff time.Duration
@@ -288,12 +301,24 @@ func New(cfg Config) *Cluster {
 			panic(fmt.Sprintf("cluster: Transport has %d machines, cluster has %d", tm, cfg.Machines))
 		}
 	}
+	threads := cfg.ThreadsPerMachine
+	if threads < 1 {
+		threads = 1
+	}
+	var pools []*Pool
+	if threads > 1 {
+		pools = make([]*Pool, cfg.Machines)
+		for i := range pools {
+			pools[i] = NewPool(threads)
+		}
+	}
 	alive := make([]bool, cfg.Machines)
 	for i := range alive {
 		alive[i] = true
 	}
 	return &Cluster{
 		machines: cfg.Machines, parallelism: p, network: net,
+		threads: threads, pools: pools,
 		maxRetries: retries, retryBackoff: backoff, faults: cfg.Faults,
 		tracer: cfg.Tracer, transport: cfg.Transport,
 		//dbtf:allow-nondeterministic default clock measures real task durations; tests inject a deterministic one
@@ -304,6 +329,20 @@ func New(cfg Config) *Cluster {
 
 // Machines returns the number of logical machines M.
 func (c *Cluster) Machines() int { return c.machines }
+
+// ThreadsPerMachine returns the configured intra-task thread count T.
+func (c *Cluster) ThreadsPerMachine() int { return c.threads }
+
+// PoolFor returns machine m's intra-task worker pool, nil when the
+// cluster is configured sequential (ThreadsPerMachine <= 1). A nil Pool
+// is valid: its Run executes shards sequentially. Clients key the pool
+// by MachineFor(task), so a reassigned task uses the survivor's pool.
+func (c *Cluster) PoolFor(m int) *Pool {
+	if c.pools == nil {
+		return nil
+	}
+	return c.pools[m]
+}
 
 // Tracer returns the cluster's tracer, nil when tracing is disabled.
 // Clients (the decomposition driver) emit their own events — iteration
@@ -585,6 +624,14 @@ func (c *Cluster) beginStage(ctx context.Context, name string, n int, fn func(in
 //dbtf:allow-unguarded st: all workers and backups are joined before endStage runs, so st is no longer shared
 func (c *Cluster) endStage(st *stageState, ok bool) {
 	// All workers and backups are joined; st is no longer shared.
+	for m, p := range c.pools {
+		// Backstop: excess left by the stage's last drains (speculative
+		// copies, a task racing the stage close) lands on its machine
+		// before the makespan is read, never on a later stage.
+		if ex := p.DrainExcess(); ex > 0 {
+			st.perMachine[m] += ex
+		}
+	}
 	var makespan, taskSum int64
 	for _, m := range st.perMachine {
 		taskSum += m
@@ -774,6 +821,13 @@ func (c *Cluster) runAttempts(st *stageState, stage int64, t, assigned int) (int
 			err = runTask(st.fn, t)
 		}
 		dur := c.now().Sub(start).Nanoseconds()
+		if c.pools != nil {
+			// Intra-task parallelism saved wall time; charge it back so the
+			// machine pays single-thread cost. Concurrent tasks on the same
+			// machine may drain each other's excess — the per-machine sum,
+			// which is what the makespan reads, is preserved.
+			dur += c.pools[assigned].DrainExcess()
+		}
 		switch fault {
 		case faultPanic:
 			st.bump(&st.injected)

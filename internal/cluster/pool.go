@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool fans one task's inner loop across the OS threads of a single
+// logical machine. It is the engine's model of intra-task parallelism:
+// the paper's cluster runs multicore executors, where one Spark task may
+// use several cores, but the simulated clock prices stages in
+// single-thread semantics (a machine's charge is the CPU time its tasks
+// consumed, not the wall time they spanned).
+//
+// Run measures each shard's busy time; the difference between the summed
+// busy time and the call's wall-clock span — the time saved by running
+// shards concurrently — accumulates as *excess*. The engine drains the
+// excess back into the owning machine's task charges (runAttempts after
+// each task, endStage as a backstop), so a run with ThreadsPerMachine = T
+// finishes in roughly 1/T the wall time while reporting the same
+// simulated makespan as a single-threaded run, modulo scheduling noise.
+//
+// A nil Pool (and a 1-thread pool) runs shards sequentially on the
+// caller's goroutine and accumulates no excess, so kernels can call
+// pool.Run unconditionally.
+type Pool struct {
+	threads int
+	// now measures shard busy times and the call span; replaceable in
+	// tests for deterministic excess checks.
+	now func() time.Time
+	// excess is the accumulated (busy − span) nanos not yet drained into
+	// a task charge.
+	excess atomic.Int64
+}
+
+// NewPool returns a pool of the given width. Widths below 1 are clamped
+// to 1 (a sequential pool).
+func NewPool(threads int) *Pool {
+	if threads < 1 {
+		threads = 1
+	}
+	//dbtf:allow-nondeterministic default clock measures real shard durations; tests inject a deterministic one
+	return &Pool{threads: threads, now: time.Now}
+}
+
+// Threads returns the pool's width; 1 for a nil pool.
+func (p *Pool) Threads() int {
+	if p == nil {
+		return 1
+	}
+	return p.threads
+}
+
+// Run executes fn(0) … fn(n-1) and returns when all calls have finished.
+// On a pool wider than one thread the shards run concurrently on fresh
+// goroutines (shards are long relative to goroutine launch, so the pool
+// holds no standing workers); the saved wall time is accumulated as
+// excess. Shards must write disjoint state — the engine's kernels give
+// each shard its own row range and scratch.
+func (p *Pool) Run(n int, fn func(shard int)) {
+	if p == nil || p.threads <= 1 || n <= 1 {
+		for s := 0; s < n; s++ {
+			fn(s)
+		}
+		return
+	}
+	workers := p.threads
+	if workers > n {
+		workers = n
+	}
+	start := p.now()
+	var (
+		busy atomic.Int64
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= n {
+					return
+				}
+				t0 := p.now()
+				fn(s)
+				busy.Add(p.now().Sub(t0).Nanoseconds())
+			}
+		}()
+	}
+	wg.Wait()
+	if ex := busy.Load() - p.now().Sub(start).Nanoseconds(); ex > 0 {
+		p.excess.Add(ex)
+	}
+}
+
+// DrainExcess returns the accumulated excess nanos and resets it. The
+// engine charges the drained time to the pool's machine so the simulated
+// clock keeps single-thread semantics; 0 for a nil pool.
+func (p *Pool) DrainExcess() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.excess.Swap(0)
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeNow returns a clock function advancing a fixed step per reading,
+// shared between a cluster and its pools so excess arithmetic is exact.
+func fakeNow(step time.Duration) func() time.Time {
+	fake := time.Unix(0, 0)
+	var reads atomic.Int64
+	return func() time.Time {
+		return fake.Add(step * time.Duration(reads.Add(1)))
+	}
+}
+
+func TestPoolRunCoversAllShards(t *testing.T) {
+	for _, threads := range []int{1, 2, 4, 9} {
+		p := NewPool(threads)
+		for _, n := range []int{0, 1, 3, 8, 17} {
+			hits := make([]atomic.Int32, n)
+			p.Run(n, func(s int) { hits[s].Add(1) })
+			for s := range hits {
+				if got := hits[s].Load(); got != 1 {
+					t.Fatalf("threads=%d n=%d: shard %d ran %d times, want 1", threads, n, s, got)
+				}
+			}
+		}
+	}
+}
+
+func TestNilPoolIsSequential(t *testing.T) {
+	var p *Pool
+	if p.Threads() != 1 {
+		t.Fatalf("nil pool Threads() = %d, want 1", p.Threads())
+	}
+	order := []int{}
+	p.Run(4, func(s int) { order = append(order, s) })
+	for s, got := range order {
+		if got != s {
+			t.Fatalf("nil pool ran shards %v, want ascending order", order)
+		}
+	}
+	if p.DrainExcess() != 0 {
+		t.Fatal("nil pool accumulated excess")
+	}
+}
+
+// TestPoolExcessAccounting checks the costing rule with a deterministic
+// clock: each shard's busy time is one clock step, the call span is one
+// step, so a 4-shard run on a wide pool accumulates busy − span =
+// (4−1) steps of excess; draining resets it.
+func TestPoolExcessAccounting(t *testing.T) {
+	const step = time.Millisecond
+	p := NewPool(4)
+	p.now = fakeNow(step)
+	// Per shard: two readings (start, end) → busy = end−start grows by
+	// the readings interleaved across goroutines; with an atomically
+	// stepped clock every Sub is ≥ 1 step, so total busy ≥ 4 steps, and
+	// the span is bounded by the total readings. The exact value depends
+	// on interleaving; the invariant is conservation: drained excess
+	// equals busy minus span, and a second drain is zero.
+	p.Run(4, func(int) {})
+	first := p.DrainExcess()
+	if first < 0 {
+		t.Fatalf("negative excess %d", first)
+	}
+	if again := p.DrainExcess(); again != 0 {
+		t.Fatalf("second drain returned %d, want 0", again)
+	}
+	// A sequential pool accumulates nothing.
+	seq := NewPool(1)
+	seq.now = fakeNow(step)
+	seq.Run(4, func(int) {})
+	if got := seq.DrainExcess(); got != 0 {
+		t.Fatalf("sequential pool accumulated %d excess", got)
+	}
+}
+
+// TestThreadedClusterChargesSingleThreadCost pins the simulated-clock
+// costing rule of Config.ThreadsPerMachine: the wall time the pool saves
+// is drained back into the machine's task charges, so a stage whose task
+// fans out over T threads charges busy time, not span time. With a fake
+// clock stepping once per reading, one task running a 4-shard pool on
+// 4 threads records 4 shard-busy steps plus the task's own 2 readings —
+// strictly more than the sequential wall measurement alone.
+func TestThreadedClusterChargesSingleThreadCost(t *testing.T) {
+	noNet := NetworkModel{LatencyPerStage: 0, BytesPerSecond: 1e18}
+	c := New(Config{Machines: 1, ThreadsPerMachine: 4, Network: noNet})
+	if c.ThreadsPerMachine() != 4 {
+		t.Fatalf("ThreadsPerMachine() = %d, want 4", c.ThreadsPerMachine())
+	}
+	pool := c.PoolFor(0)
+	if pool.Threads() != 4 {
+		t.Fatalf("PoolFor(0).Threads() = %d, want 4", pool.Threads())
+	}
+	step := time.Millisecond
+	now := fakeNow(step)
+	c.now, pool.now = now, now
+	if err := c.ForEach(context.Background(), 1, func(int) error {
+		pool.Run(4, func(int) {})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The task's wall measurement is the readings between its start and
+	// end; every one of the 8 pool readings (4 shards × start+end) falls
+	// in between, so ComputeNanos must include at least the 4 busy
+	// intervals on top of nothing being lost: conservatively > 4 steps.
+	if got := c.Stats().ComputeNanos; got < int64(4*step) {
+		t.Fatalf("ComputeNanos = %d, want >= %d (busy time charged back)", got, 4*step)
+	}
+	if left := pool.DrainExcess(); left != 0 {
+		t.Fatalf("excess %d left undrained after the stage", left)
+	}
+}
+
+// TestSequentialClusterHasNoPools: the default configuration keeps the
+// engine allocation-free on the pool axis — PoolFor returns nil, which
+// every Pool method treats as a 1-thread pool.
+func TestSequentialClusterHasNoPools(t *testing.T) {
+	c := New(Config{Machines: 2})
+	if c.ThreadsPerMachine() != 1 {
+		t.Fatalf("default ThreadsPerMachine() = %d, want 1", c.ThreadsPerMachine())
+	}
+	if p := c.PoolFor(1); p != nil {
+		t.Fatalf("PoolFor on a sequential cluster = %v, want nil", p)
+	}
+}

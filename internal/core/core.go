@@ -320,6 +320,16 @@ func Decompose(ctx context.Context, x *tensor.Tensor, cl *cluster.Cluster, opts 
 	if err := d.partitionAll(); err != nil {
 		return nil, err
 	}
+	// Every stage joins its task goroutines (including speculative backups)
+	// before returning, so when Decompose returns nothing can still touch
+	// the partition arenas and they go back to the slab pool.
+	defer func() {
+		for _, p := range d.px {
+			if p != nil {
+				p.Release()
+			}
+		}
+	}()
 
 	src := newCountingSource(opt.Seed)
 	rng := rand.New(src)
@@ -371,7 +381,7 @@ func Decompose(ctx context.Context, x *tensor.Tensor, cl *cluster.Cluster, opts 
 			// them. (With a single set the registry's entries stay live: the
 			// cache totalError built over b serves iteration 2's A-update.)
 			for _, r := range d.reg {
-				r.clear()
+				r.clearRelease()
 			}
 		}
 		res.Iterations = 1
@@ -434,6 +444,25 @@ func initialSet(rng *rand.Rand, x *tensor.Tensor, opt Options) (a, b, c *boolmat
 	if len(coords) == 0 {
 		return a, b, c
 	}
+	// rowStart[ii] indexes the first coordinate of mode-1 row ii: the
+	// coordinate list is sorted by (I, J, K), so each row is a contiguous
+	// range. The vote loops below walk only the rows of the seed fiber's
+	// members instead of binary-searching the full list per cell.
+	rowStart := make([]int, i+1)
+	{
+		r := 0
+		for idx := range coords {
+			for r <= coords[idx].I {
+				rowStart[r] = idx
+				r++
+			}
+		}
+		for ; r <= i; r++ {
+			rowStart[r] = len(coords)
+		}
+	}
+	votesJ := make([]int32, j)
+	votesK := make([]int32, k)
 	// covered reports whether a cell lies inside the block of an earlier
 	// component; seeds are rejection-sampled away from covered cells so
 	// the components spread over distinct structures instead of piling
@@ -463,29 +492,37 @@ func initialSet(rng *rand.Rand, x *tensor.Tensor, opt Options) (a, b, c *boolmat
 				aIdx = append(aIdx, ii)
 			}
 		}
-		quorum := (len(aIdx) + 1) / 2
+		quorum := int32(len(aIdx)+1) / 2
 		if quorum < 1 {
 			quorum = 1
 		}
-		for jj := 0; jj < j; jj++ {
-			votes := 0
-			for _, ii := range aIdx {
-				if x.Get(ii, jj, seed.K) {
-					votes++
+		// One pass over each member row tallies both vote vectors: row ii
+		// contributes a J-vote for every nonzero in its seed.K slice and a
+		// K-vote for every nonzero in its seed.J slice, exactly the cells
+		// the per-index Get probes used to test.
+		for idx := range votesJ {
+			votesJ[idx] = 0
+		}
+		for idx := range votesK {
+			votesK[idx] = 0
+		}
+		for _, ii := range aIdx {
+			for _, co := range coords[rowStart[ii]:rowStart[ii+1]] {
+				if co.K == seed.K {
+					votesJ[co.J]++
+				}
+				if co.J == seed.J {
+					votesK[co.K]++
 				}
 			}
-			if votes >= quorum {
+		}
+		for jj := 0; jj < j; jj++ {
+			if votesJ[jj] >= quorum {
 				b.Set(jj, r, true)
 			}
 		}
 		for kk := 0; kk < k; kk++ {
-			votes := 0
-			for _, ii := range aIdx {
-				if x.Get(ii, seed.J, kk) {
-					votes++
-				}
-			}
-			if votes >= quorum {
+			if votesK[kk] >= quorum {
 				c.Set(kk, r, true)
 			}
 		}
@@ -611,13 +648,26 @@ func (d *decomposition) endIteration(t int, e, improvement int64) {
 // unfolding (Algorithm 2, lines 1-3). The shuffle volume of distributing
 // the partitions is charged to the cluster (Lemma 6).
 func (d *decomposition) partitionAll() error {
+	// The three unfoldings share one fused sweep over the coordinate list
+	// (driver-side, like the initial factors), then each machine builds its
+	// mode's partitioning from the precomputed matricization.
+	var ux [3]*tensor.Unfolded
+	if err := d.cl.DriverNamed(d.ctx, "unfold", func() {
+		ux = d.x.UnfoldAll()
+	}); err != nil {
+		return err
+	}
 	err := d.cl.ForEachNamed(d.ctx, "partition", 3, func(m int) error {
-		u := d.x.Unfold(tensor.Mode(m + 1))
-		d.px[m] = partition.Build(u, d.opt.Partitions)
+		d.px[m] = partition.Build(ux[m], d.opt.Partitions)
 		return nil
 	})
 	if err != nil {
 		return err
+	}
+	// The partitionings hold their own copy of every nonzero; the
+	// unfoldings are dead weight from here on.
+	for _, u := range ux {
+		u.Recycle()
 	}
 	for _, px := range d.px {
 		d.cl.Shuffle(px.ShuffleBytes)

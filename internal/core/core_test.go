@@ -195,7 +195,7 @@ func referenceUpdate(u *tensor.Unfolded, a, mf, ms *boolmat.FactorMatrix) {
 	q := u.NumCols
 	xRows := make([]*bitvec.BitVec, u.NumRows)
 	for r := 0; r < u.NumRows; r++ {
-		xRows[r] = bitvec.FromIndices(q, u.Row(r))
+		xRows[r] = bitvec.FromIndices32(q, u.Row(r))
 	}
 	sum := bitvec.New(q)
 	for c := 0; c < a.Rank(); c++ {

@@ -67,8 +67,12 @@ func (r *machineRegistry) cacheFor(ms *boolmat.FactorMatrix, groupBits int) *mac
 	mc, ok := r.entries[key]
 	if !ok {
 		//dbtf:allow-nondeterministic every key matching the stale matrix is deleted; order-independent
-		for k := range r.entries {
+		for k, stale := range r.entries {
 			if k.m == ms {
+				// Every stage that resolved summers over the stale version
+				// has been joined (factor versions only change between
+				// stages), so its tables can go back to the slab pool.
+				stale.release()
 				delete(r.entries, k)
 			}
 		}
@@ -80,12 +84,39 @@ func (r *machineRegistry) cacheFor(ms *boolmat.FactorMatrix, groupBits int) *mac
 	return mc
 }
 
-// clear drops every entry; used between initial factor sets so losers'
-// caches do not outlive their matrices.
+// clear drops every entry without recycling the tables. It is the only
+// safe drop when live column tasks may still hold summers over the
+// entries — machine loss reassigns tasks but keeps the task objects, so
+// their caches must survive until the garbage collector proves them dead.
 func (r *machineRegistry) clear() {
 	r.mu.Lock()
 	r.entries = map[registryKey]*machineCache{}
 	r.mu.Unlock()
+}
+
+// clearRelease drops every entry and returns the cache tables to the slab
+// pool. Callers must hold exclusive access with no live tasks: the driver
+// between initial factor sets (stages joined, losers' tasks dropped) and
+// the worker under a factor push (tasks reset in the same critical
+// section).
+func (r *machineRegistry) clearRelease() {
+	r.mu.Lock()
+	//dbtf:allow-nondeterministic every entry is released; order is irrelevant
+	for _, mc := range r.entries {
+		mc.release()
+	}
+	r.entries = map[registryKey]*machineCache{}
+	r.mu.Unlock()
+}
+
+// release recycles the cache tables of an evicted entry. The caller must
+// guarantee no in-flight task can still read them: entries are only
+// evicted at factor-version boundaries, after the stages that used the
+// stale version have been joined.
+func (mc *machineCache) release() {
+	if mc.full != nil {
+		mc.full.Release()
+	}
 }
 
 // slice returns the shared view over entry bit range [lo, hi), memoized

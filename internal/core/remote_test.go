@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"math/rand"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -17,6 +18,10 @@ import (
 // here is a protocol bug, not a networking bug.
 type hostTransport struct {
 	hosts []transport.Host
+	// batch ships each machine's tasks as one RunBatch call when the host
+	// implements transport.BatchHost, mirroring the tcp server's
+	// type-assertion; false calls RunTask per task.
+	batch bool
 	sent  atomic.Int64
 	recvd atomic.Int64
 }
@@ -25,6 +30,17 @@ func newHostTransport(machines int) *hostTransport {
 	ht := &hostTransport{}
 	for m := 0; m < machines; m++ {
 		ht.hosts = append(ht.hosts, NewWorker())
+	}
+	return ht
+}
+
+// newBatchHostTransport builds Worker hosts of the given thread width and
+// ships per-machine batches, exercising the parallel batch path end to
+// end.
+func newBatchHostTransport(machines, threads int) *hostTransport {
+	ht := &hostTransport{batch: true}
+	for m := 0; m < machines; m++ {
+		ht.hosts = append(ht.hosts, NewWorkerThreads(threads))
 	}
 	return ht
 }
@@ -44,6 +60,28 @@ func (h *hostTransport) PushState(ctx context.Context, kind transport.StateKind,
 }
 
 func (h *hostTransport) Run(ctx context.Context, spec transport.Spec, deliver func(transport.TaskResult) error) error {
+	if h.batch {
+		for m := range h.hosts {
+			var tasks []int
+			for task := m; task < spec.Tasks; task += len(h.hosts) {
+				tasks = append(tasks, task)
+			}
+			if len(tasks) == 0 {
+				continue
+			}
+			outs, err := h.hosts[m].(transport.BatchHost).RunBatch(spec, tasks)
+			if err != nil {
+				return err
+			}
+			for _, out := range outs {
+				h.recvd.Add(int64(len(out.Payload)))
+				if err := deliver(transport.TaskResult{Task: out.Task, Machine: m, Nanos: 1000, Payload: out.Payload}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
 	for task := 0; task < spec.Tasks; task++ {
 		m := task % len(h.hosts)
 		payload, err := h.hosts[m].RunTask(spec, task)
@@ -156,5 +194,108 @@ func TestWorkerRejectsOutOfOrderState(t *testing.T) {
 	}
 	if _, err := w.RunTask(transport.Spec{Name: "eval:A", Kind: transport.KindEval, Mode: 0, Col: 0}, 0); err == nil {
 		t.Fatal("eval before factors succeeded")
+	}
+}
+
+// TestRemoteBatchedThreadedWorkersMatchSimulated runs the remote
+// differential over the parallel batch path: each machine receives its
+// stage tasks as one RunBatch call and fans them (and their row shards)
+// out across 4 threads. Factors, trajectories, and the formula-based
+// accounting must still be bit-identical to the sequential simulated
+// run — the same guarantee the TCP transport inherits through
+// transport.BatchHost.
+func TestRemoteBatchedThreadedWorkersMatchSimulated(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for trial := 0; trial < 3; trial++ {
+		i, j, k := rng.Intn(12)+4, rng.Intn(12)+4, rng.Intn(12)+4
+		x := randomTensor(rng, i, j, k, 0.12)
+		opt := Options{
+			Rank:        rng.Intn(4) + 2,
+			Seed:        int64(trial + 1),
+			MaxIter:     3,
+			Partitions:  rng.Intn(3) + 2,
+			InitialSets: 2,
+			NoCache:     trial == 2,
+		}
+		machines := rng.Intn(2) + 2
+
+		sim, err := Decompose(context.Background(), x, testCluster(machines), opt)
+		if err != nil {
+			t.Fatalf("trial %d: simulated: %v", trial, err)
+		}
+		rem, err := Decompose(context.Background(), x,
+			cluster.New(cluster.Config{Machines: machines, Transport: newBatchHostTransport(machines, 4)}), opt)
+		if err != nil {
+			t.Fatalf("trial %d: remote: %v", trial, err)
+		}
+		if !rem.A.Equal(sim.A) || !rem.B.Equal(sim.B) || !rem.C.Equal(sim.C) {
+			t.Fatalf("trial %d: batched remote factors differ from simulated", trial)
+		}
+		if rem.Error != sim.Error || rem.Iterations != sim.Iterations {
+			t.Fatalf("trial %d: batched remote result %d/%d, simulated %d/%d",
+				trial, rem.Error, rem.Iterations, sim.Error, sim.Iterations)
+		}
+		for it := range rem.IterationErrors {
+			if rem.IterationErrors[it] != sim.IterationErrors[it] {
+				t.Fatalf("trial %d: iteration %d error %d, simulated %d",
+					trial, it, rem.IterationErrors[it], sim.IterationErrors[it])
+			}
+		}
+	}
+}
+
+// TestWorkerBatchErrorAttribution pins the batch failure contract: a bad
+// task inside a parallel eval batch fails the whole batch with an error
+// naming that task — the earliest offender in batch order — instead of
+// surfacing as a connection-level failure or a partial reply.
+func TestWorkerBatchErrorAttribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := randomTensor(rng, 8, 7, 6, 0.25)
+	w := NewWorkerThreads(4)
+	setup, err := encodeSetup(x, Options{Rank: 3, Partitions: 2, GroupBits: 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Apply(transport.StateSetup, setup); err != nil {
+		t.Fatal(err)
+	}
+	a := boolmat.RandomFactor(rng, 8, 3, 0.4)
+	b := boolmat.RandomFactor(rng, 7, 3, 0.4)
+	c := boolmat.RandomFactor(rng, 6, 3, 0.4)
+	if err := w.Apply(transport.StateFactors, encodeFactors(a, b, c)); err != nil {
+		t.Fatal(err)
+	}
+	spec := transport.Spec{Name: "eval:A", Kind: transport.KindEval, Mode: 0, Col: 1, Tasks: 2}
+
+	// Tasks 7 and 9 are outside the 2-partition range; the earlier one in
+	// batch order must be the one named.
+	_, err = w.RunBatch(spec, []int{0, 7, 9})
+	if err == nil {
+		t.Fatal("batch with invalid tasks succeeded")
+	}
+	if got := err.Error(); !strings.Contains(got, "task 7") {
+		t.Fatalf("batch error %q does not name task 7", got)
+	}
+
+	// The worker survives the failed batch: the valid half of the stage
+	// still evaluates, with one output per task in batch order.
+	outs, err := w.RunBatch(spec, []int{0, 1})
+	if err != nil {
+		t.Fatalf("valid batch after failure: %v", err)
+	}
+	if len(outs) != 2 || outs[0].Task != 0 || outs[1].Task != 1 {
+		t.Fatalf("batch outputs %+v, want tasks [0 1]", outs)
+	}
+	for i, out := range outs {
+		if len(out.Payload) == 0 {
+			t.Fatalf("output %d has empty payload", i)
+		}
+		want, err := w.RunTask(spec, out.Task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(want) != string(out.Payload) {
+			t.Fatalf("task %d: batched payload differs from sequential RunTask", out.Task)
+		}
 	}
 }

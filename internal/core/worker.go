@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"dbtf/internal/boolmat"
+	"dbtf/internal/cluster"
 	"dbtf/internal/partition"
 	"dbtf/internal/tensor"
 	"dbtf/internal/transport"
@@ -20,10 +22,20 @@ import (
 // (buildColumnTask, evalColumn, partitionError) on state kept
 // entry-identical to the coordinator's by the StateKind pushes, which is
 // what makes remote factors bit-identical to simulated ones for the same
-// seed. Calls are serialized by an internal lock; the wire protocol is
-// sequential per connection anyway.
+// seed.
+//
+// Concurrency: the wire protocol is one request at a time per
+// connection, but a single request may fan out — RunBatch evaluates a
+// stage batch's tasks concurrently across the worker's threads, and each
+// task's evalColumn row-shards over the same pool. State mutation
+// (Apply, task builds, lazy rebuilds) holds the lock exclusively;
+// parallel batch evaluation holds it shared, and each task writes only
+// its own columnTask, so evaluations never race each other.
 type Worker struct {
-	mu sync.Mutex
+	// pool is the machine's intra-task worker pool; nil runs everything
+	// sequentially. Immutable after construction.
+	pool *cluster.Pool
+	mu   sync.RWMutex
 	//dbtf:guardedby mu
 	setup wireSetup
 	//dbtf:guardedby mu
@@ -47,6 +59,17 @@ type Worker struct {
 
 // NewWorker returns an empty executor awaiting a StateSetup push.
 func NewWorker() *Worker { return &Worker{} }
+
+// NewWorkerThreads returns an executor whose stage batches and eval
+// kernels may use up to threads OS threads (one simulated machine with T
+// cores). Thread counts never change results — only how many goroutines
+// compute them — so workers of mixed widths can serve one run.
+func NewWorkerThreads(threads int) *Worker {
+	if threads <= 1 {
+		return &Worker{}
+	}
+	return &Worker{pool: cluster.NewPool(threads)}
+}
 
 // Apply installs one replicated-state blob (transport.Host).
 func (w *Worker) Apply(kind transport.StateKind, payload []byte) error {
@@ -73,8 +96,13 @@ func (w *Worker) applySetupLocked(payload []byte) error {
 	// Algorithm 2's one-off distribution. A replayed setup (machine
 	// rejoin) resets everything: the process may have restarted and holds
 	// no usable state.
+	ux := x.UnfoldAll()
 	for m := range w.px {
-		w.px[m] = partition.Build(x.Unfold(tensor.Mode(m+1)), ws.Partitions)
+		if w.px[m] != nil {
+			w.px[m].Release()
+		}
+		w.px[m] = partition.Build(ux[m], ws.Partitions)
+		ux[m].Recycle()
 	}
 	w.reg = &machineRegistry{entries: map[registryKey]*machineCache{}}
 	w.a, w.b, w.c = nil, nil, nil
@@ -105,7 +133,7 @@ func (w *Worker) applyFactorsLocked(payload []byte) error {
 	// Tasks and caches built over the previous factor versions are stale;
 	// the registry's version keys would catch the caches, dropping both
 	// keeps memory bounded by the live working set.
-	w.reg.clear()
+	w.reg.clearRelease()
 	w.resetTasksLocked()
 	return nil
 }
@@ -228,7 +256,82 @@ func (w *Worker) columnTaskForLocked(modeIdx, pi int) (*columnTask, error) {
 	}
 	part := px.Parts[pi]
 	summers := buildBlockSummers(w.reg, part, ms, w.setup.GroupBits, w.setup.NoCache)
-	t := buildColumnTask(part, upd, mf, summers, w.setup.NoCache)
+	t := buildColumnTask(part, upd, mf, summers, w.setup.NoCache, w.pool)
 	w.tasks[modeIdx][pi] = t
 	return t, nil
+}
+
+// RunBatch executes a whole stage batch (transport.BatchHost). Eval
+// batches fan their tasks out across the worker's threads: every task is
+// first resolved under the exclusive lock (lazy rebuilds after a
+// reassignment mutate the task maps and the cache registry), then the
+// evaluations — which write only their own columnTask state — run
+// concurrently under the shared lock. All other kinds, and sequential
+// workers, run the tasks one by one. Failures follow the BatchHost
+// contract: the batch fails as a whole, naming the earliest failing task
+// in batch order (validation happens in that order before any fan-out,
+// so the selection is deterministic even for parallel batches).
+func (w *Worker) RunBatch(spec transport.Spec, tasks []int) ([]transport.TaskOutput, error) {
+	outs := make([]transport.TaskOutput, len(tasks))
+	if spec.Kind != transport.KindEval || len(tasks) <= 1 || w.pool.Threads() <= 1 {
+		for i, task := range tasks {
+			//dbtf:allow-nondeterministic task nanos are wall-clock reporting charged to the simulated ledger, never fed back into results
+			start := time.Now()
+			payload, err := w.RunTask(spec, task)
+			if err != nil {
+				return nil, fmt.Errorf("task %d: %w", task, err)
+			}
+			outs[i] = transport.TaskOutput{
+				Task: task,
+				//dbtf:allow-nondeterministic task nanos are wall-clock reporting charged to the simulated ledger, never fed back into results
+				Nanos:   time.Since(start).Nanoseconds() + w.pool.DrainExcess(),
+				Payload: payload,
+			}
+		}
+		return outs, nil
+	}
+	cts, err := w.resolveEvalBatch(spec, tasks)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	w.pool.Run(len(tasks), func(i int) {
+		//dbtf:allow-nondeterministic task nanos are wall-clock reporting charged to the simulated ledger, never fed back into results
+		start := time.Now()
+		cts[i].evalColumn(spec.Col)
+		outs[i] = transport.TaskOutput{
+			Task: tasks[i],
+			//dbtf:allow-nondeterministic task nanos are wall-clock reporting charged to the simulated ledger, never fed back into results
+			Nanos:   time.Since(start).Nanoseconds(),
+			Payload: encodeDeltas(cts[i].deltas),
+		}
+	})
+	// The wall time the fan-out saved is charged to the batch's first
+	// task: the coordinator sums nanos per machine, so attribution within
+	// one worker's batch cannot skew the simulated makespan.
+	outs[0].Nanos += w.pool.DrainExcess()
+	return outs, nil
+}
+
+// resolveEvalBatch validates an eval batch and builds (or fetches) every
+// task's columnTask under the exclusive lock, in batch order.
+func (w *Worker) resolveEvalBatch(spec transport.Spec, tasks []int) ([]*columnTask, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.x == nil {
+		return nil, fmt.Errorf("stage before setup")
+	}
+	if spec.Col < 0 || spec.Col >= w.setup.Rank {
+		return nil, fmt.Errorf("eval column %d outside rank %d", spec.Col, w.setup.Rank)
+	}
+	cts := make([]*columnTask, len(tasks))
+	for i, task := range tasks {
+		t, err := w.columnTaskForLocked(spec.Mode, task)
+		if err != nil {
+			return nil, fmt.Errorf("task %d: %w", task, err)
+		}
+		cts[i] = t
+	}
+	return cts, nil
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"dbtf/internal/bitvec"
+	"dbtf/internal/slab"
 	"dbtf/internal/sumcache"
 	"dbtf/internal/tensor"
 )
@@ -241,6 +242,24 @@ type Partitioned struct {
 	// ShuffleBytes estimates the data volume moved when distributing the
 	// partitions across machines (Lemma 6: O(|X|)).
 	ShuffleBytes int64
+
+	// Backing arenas shared by every block's CSR offsets, row pointers and
+	// packed rows; returned to the slab pool by Release.
+	ptrArena, bitsArena []int32
+	denseArena          []uint64
+}
+
+// Release returns the partitioning's backing arenas to the slab pool and
+// poisons it against further use: afterwards no Partition or Block derived
+// from it may be touched. Owners with a clear end of life (a decomposition
+// returning, a worker replacing its setup) call it; everyone else lets the
+// garbage collector take the arenas.
+func (p *Partitioned) Release() {
+	slab.PutInt32s(p.ptrArena)
+	slab.PutInt32s(p.bitsArena)
+	slab.PutUint64s(p.denseArena)
+	p.ptrArena, p.bitsArena, p.denseArena = nil, nil, nil
+	p.Parts = nil
 }
 
 // ReshipBytes estimates the data volume of re-shipping partition pi to a
@@ -296,55 +315,102 @@ func Build(u *tensor.Unfolded, n int) *Partitioned {
 		px.Parts = append(px.Parts, p)
 	}
 
-	counts := make([]int, len(all))
-	for r := 0; r < u.NumRows; r++ {
-		bi := 0
-		for _, c := range u.Row(r) {
-			for c >= all[bi].Hi {
-				bi++
-			}
-			counts[bi]++
-		}
-	}
-	bitsArena := make([]int32, u.NNZ())
-	ptrArena := make([]int32, len(all)*(u.NumRows+1))
+	// Every block is a column range inside a single PVM product, so its
+	// row segments are sub-ranges of the unfolding's (row, PVM block)
+	// buckets. The count pass below is therefore pure bucket arithmetic
+	// for full blocks — no nonzero is touched — and a short end-trim of
+	// the bucket segment for the at-most-two partial blocks a partition
+	// boundary cuts into a product. The fill pass then writes each block's
+	// CSR offsets (and packed rows, for blocks at or above
+	// DenseRowThreshold) sequentially into arenas shared by all blocks.
+	nb := len(all)
+	rows := u.NumRows
+	offs, nbPVM := u.BucketOffs(), u.NumBlocks
+	ptrArena := slab.Int32s(nb * (rows + 1))
 	denseTotal := 0
-	off := 0
+	bitsOff := make([]int32, nb+1)
 	for bi, b := range all {
-		b.bits = bitsArena[off : off : off+counts[bi]]
-		off += counts[bi]
-		b.rowPtr = ptrArena[bi*(u.NumRows+1) : (bi+1)*(u.NumRows+1)]
-		if cells := u.NumRows * b.Width(); cells > 0 &&
-			float64(counts[bi])/float64(cells) >= DenseRowThreshold {
+		rp := ptrArena[bi*(rows+1) : (bi+1)*(rows+1)]
+		rp[0] = 0 // the arena is recycled, not zeroed
+		switch {
+		case b.Type == Full && offs != nil:
+			// Bucket lengths by pure arithmetic — no nonzero is touched.
+			for r := 0; r < rows; r++ {
+				bk := r*nbPVM + b.PVM
+				rp[r+1] = rp[r] + (offs[bk+1] - offs[bk])
+			}
+		case b.Type == Full:
+			for r := 0; r < rows; r++ {
+				rp[r+1] = rp[r] + int32(len(u.BlockRow(r, b.PVM)))
+			}
+		default:
+			lo, hi := int32(b.Lo), int32(b.Hi)
+			for r := 0; r < rows; r++ {
+				rp[r+1] = rp[r] + int32(len(trimSegment(u.BlockRow(r, b.PVM), lo, hi)))
+			}
+		}
+		total := int(rp[rows])
+		b.rowPtr = rp
+		bitsOff[bi+1] = bitsOff[bi] + int32(total)
+		if cells := rows * b.Width(); cells > 0 &&
+			float64(total)/float64(cells) >= DenseRowThreshold {
 			b.stride = (b.Width() + bitvec.WordBits - 1) / bitvec.WordBits
-			denseTotal += u.NumRows * b.stride
+			denseTotal += rows * b.stride
 		}
 	}
-	denseArena := make([]uint64, denseTotal)
-	for _, b := range all {
+	bitsArena := slab.Int32s(u.NNZ())
+	denseArena := slab.Uint64sZeroed(denseTotal)
+	px.ptrArena, px.bitsArena, px.denseArena = ptrArena, bitsArena, denseArena
+	denseOff := 0
+	for bi, b := range all {
+		b.bits = bitsArena[bitsOff[bi]:bitsOff[bi+1]:bitsOff[bi+1]]
 		if b.stride > 0 {
-			b.denseWords = denseArena[:u.NumRows*b.stride]
-			denseArena = denseArena[u.NumRows*b.stride:]
+			b.denseWords = denseArena[denseOff : denseOff+rows*b.stride]
+			denseOff += rows * b.stride
 		}
-	}
-	for r := 0; r < u.NumRows; r++ {
-		bi := 0
-		for _, c := range u.Row(r) {
-			for c >= all[bi].Hi {
-				bi++
+		lo, hi, pvm, full := int32(b.Lo), int32(b.Hi), b.PVM, b.Type == Full
+		pos := 0
+		for r := 0; r < rows; r++ {
+			var seg []int32
+			if offs != nil {
+				bk := r*nbPVM + pvm
+				seg = u.Bucket(offs[bk], offs[bk+1])
+			} else {
+				seg = u.BlockRow(r, pvm)
 			}
-			b := all[bi]
-			o := int32(c - b.Lo)
-			b.bits = append(b.bits, o)
+			if !full {
+				seg = trimSegment(seg, lo, hi)
+			}
 			if b.stride > 0 {
-				b.denseWords[r*b.stride+int(o)>>6] |= uint64(1) << (uint32(o) & 63)
+				base := r * b.stride
+				for _, c := range seg {
+					o := c - lo
+					b.bits[pos] = o
+					pos++
+					b.denseWords[base+int(o)>>6] |= uint64(1) << (uint32(o) & 63)
+				}
+			} else {
+				for _, c := range seg {
+					b.bits[pos] = c - lo
+					pos++
+				}
 			}
-		}
-		for _, b := range all {
-			b.rowPtr[r+1] = int32(len(b.bits))
 		}
 	}
 	return px
+}
+
+// trimSegment narrows a sorted bucket segment to columns [lo, hi). Partial
+// blocks sit at partition boundaries, so the trimmed ends are short; a
+// linear trim beats binary search at bucket sizes.
+func trimSegment(seg []int32, lo, hi int32) []int32 {
+	for len(seg) > 0 && seg[0] < lo {
+		seg = seg[1:]
+	}
+	for len(seg) > 0 && seg[len(seg)-1] >= hi {
+		seg = seg[:len(seg)-1]
+	}
+	return seg
 }
 
 type span struct {

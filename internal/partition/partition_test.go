@@ -151,7 +151,7 @@ func TestBlockCSRMatchesUnfolded(t *testing.T) {
 					}
 					found := false
 					for _, c := range u.Row(r) {
-						if c == col {
+						if int(c) == col {
 							found = true
 							break
 						}

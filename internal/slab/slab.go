@@ -1,0 +1,101 @@
+// Package slab recycles the large flat arenas the decomposition engine
+// otherwise allocates fresh on every call: unfolding column arrays,
+// partition CSR and packed-row arenas, and sum-cache entry tables. These
+// are the dominant allocation sites of a Factorize call, and because each
+// has a clear owner with a well-defined release point (an unfolding is
+// dead once its partitioning is built; a partitioning dies with its
+// decomposition; a sum cache dies when its factor version goes stale),
+// they can be returned to a free list instead of churning the garbage
+// collector.
+//
+// Slices are pooled per power-of-two capacity class in global sync.Pools,
+// so Get/Put are safe for concurrent use from cluster task goroutines and
+// TCP workers. A Get never fails: on a cold pool it falls back to make.
+//
+// Contract: a Put hands ownership of the slice's full capacity back to the
+// pool. The caller must not retain any alias (including subslices) past
+// the Put — the memory will be handed to an unrelated Get. Dirty variants
+// return unspecified contents; callers must fully overwrite them.
+package slab
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Slices smaller than this many bytes are not worth round-tripping
+// through a sync.Pool; they come straight from make and Puts of them are
+// dropped.
+const minBytes = 2048
+
+var (
+	int32Pools  [33]sync.Pool
+	uint64Pools [33]sync.Pool
+)
+
+// class returns the power-of-two capacity class holding n elements.
+func class(n int) int { return bits.Len(uint(n - 1)) }
+
+// Int32s returns a slice of n int32s with unspecified contents.
+func Int32s(n int) []int32 {
+	if n == 0 {
+		return nil
+	}
+	k := class(n)
+	if n*4 >= minBytes {
+		if p, _ := int32Pools[k].Get().(*[]int32); p != nil {
+			return (*p)[:n]
+		}
+	}
+	return make([]int32, n, 1<<k)
+}
+
+// Int32sZeroed returns a slice of n zeroed int32s.
+func Int32sZeroed(n int) []int32 {
+	s := Int32s(n)
+	clear(s)
+	return s
+}
+
+// PutInt32s returns a slice obtained from Int32s to the pool. The slice
+// and every alias of it must not be used afterwards.
+func PutInt32s(s []int32) {
+	c := cap(s)
+	if c*4 < minBytes || c != 1<<class(c) {
+		return
+	}
+	s = s[:c]
+	int32Pools[class(c)].Put(&s)
+}
+
+// Uint64s returns a slice of n uint64s with unspecified contents.
+func Uint64s(n int) []uint64 {
+	if n == 0 {
+		return nil
+	}
+	k := class(n)
+	if n*8 >= minBytes {
+		if p, _ := uint64Pools[k].Get().(*[]uint64); p != nil {
+			return (*p)[:n]
+		}
+	}
+	return make([]uint64, n, 1<<k)
+}
+
+// Uint64sZeroed returns a slice of n zeroed uint64s.
+func Uint64sZeroed(n int) []uint64 {
+	s := Uint64s(n)
+	clear(s)
+	return s
+}
+
+// PutUint64s returns a slice obtained from Uint64s to the pool. The slice
+// and every alias of it must not be used afterwards.
+func PutUint64s(s []uint64) {
+	c := cap(s)
+	if c*8 < minBytes || c != 1<<class(c) {
+		return
+	}
+	s = s[:c]
+	uint64Pools[class(c)].Put(&s)
+}

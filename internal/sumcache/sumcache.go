@@ -36,6 +36,7 @@ import (
 
 	"dbtf/internal/bitvec"
 	"dbtf/internal/boolmat"
+	"dbtf/internal/slab"
 )
 
 // DefaultGroupBits is the paper's default for the threshold V: the maximum
@@ -69,6 +70,8 @@ type group struct {
 	pop  []int32 // OnesCount of rows[m]; eager caches only
 	// lazy[m] memoizes sliced entries; sliced caches only.
 	lazy []atomic.Pointer[sliceEntry]
+	// words backs the rows of an eager group; recycled by Release.
+	words []uint64
 }
 
 type sliceEntry struct {
@@ -136,24 +139,52 @@ func NewFromFactor(m *boolmat.FactorMatrix, groupBits int) *Cache {
 // away from a previously computed entry (drop the lowest set bit), so the
 // whole table costs O(2^bits) vector ORs — the paper's "incremental
 // computations that use prior row summation results" (Lemma 4, step i).
+// The entries are carved out of one bitvec.Slab: tables are rebuilt once
+// per machine per factor version, and per-entry allocation used to
+// dominate the whole decomposition's allocation profile.
 func buildGroup(cols []*bitvec.BitVec, shift uint, bits, width int) group {
+	n := 1 << uint(bits)
 	g := group{
 		shift: shift,
 		bits:  bits,
 		mask:  (uint64(1) << uint(bits)) - 1,
-		rows:  make([]*bitvec.BitVec, 1<<uint(bits)),
-		pop:   make([]int32, 1<<uint(bits)),
+		rows:  make([]*bitvec.BitVec, n),
+		pop:   make([]int32, n),
 	}
-	g.rows[0] = bitvec.New(width)
-	for m := uint64(1); m < uint64(len(g.rows)); m++ {
+	stride := bitvec.SlabWords(1, width)
+	g.words = slab.Uint64s(n * stride)
+	// Entry 0 (the empty summation) must start zero; every other entry is
+	// fully overwritten below, so recycled memory needs no further clearing.
+	clear(g.words[:stride])
+	vecs := bitvec.SlabOver(g.words, n, width)
+	g.rows[0] = &vecs[0]
+	for m := uint64(1); m < uint64(n); m++ {
 		prev := m & (m - 1) // m without its lowest set bit
 		low := m ^ prev     // the lowest set bit
-		e := g.rows[prev].Copy()
+		e := &vecs[m]
+		e.CopyFrom(g.rows[prev])
 		e.Or(cols[shift+uint(bitIndex(low))])
 		g.rows[m] = e
 		g.pop[m] = int32(e.OnesCount())
 	}
 	return g
+}
+
+// Release returns the eager tables' backing words to the slab pool and
+// poisons the cache against further use. Only cache owners with exclusive
+// access at a version boundary (the machine registries, on eviction of a
+// stale factor version) call it; sliced caches own no slabs and their
+// lazily materialized entries are independent copies, so only the eager
+// root is released.
+func (c *Cache) Release() {
+	if c.parent != nil {
+		return
+	}
+	for i := range c.groups {
+		g := &c.groups[i]
+		slab.PutUint64s(g.words)
+		g.words, g.rows, g.pop = nil, nil, nil
+	}
 }
 
 // bitIndex returns the index of the single set bit.

@@ -12,13 +12,16 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"math/bits"
 	"os"
+	"slices"
 	"sort"
 	"strconv"
 
 	"dbtf/internal/bitvec"
 	"dbtf/internal/boolmat"
+	"dbtf/internal/slab"
 )
 
 // Coord is the coordinate of a nonzero tensor entry.
@@ -189,7 +192,16 @@ type Unfolded struct {
 	// Khatri–Rao operand (C above).
 	NumBlocks int
 	rowPtr    []int
-	colIdx    []int
+	// colIdx holds the column indices as int32: unfolding and partitioning
+	// are memory-bandwidth bound, and half-width columns halve that traffic.
+	// Unfold panics if the column space exceeds int32.
+	colIdx []int32
+	// bucketOff delimits the (row, PVM block) buckets of colIdx: bucket
+	// b = row·NumBlocks + block spans colIdx[bucketOff[b]:bucketOff[b+1]].
+	// Retained from the counting-sort construction (nil when the sort fell
+	// back to per-row sorting), it hands partition.Build every block-row
+	// segment by pure arithmetic instead of a merge over the nonzeros.
+	bucketOff []int32
 }
 
 // Unfold returns the mode-n matricization of the tensor, following the
@@ -210,37 +222,45 @@ func (t *Tensor) Unfold(mode Mode) *Unfolded {
 	default:
 		panic(fmt.Sprintf("tensor: invalid mode %d", mode))
 	}
+	if int64(block)*int64(nBlocks) > math.MaxInt32 {
+		panic(fmt.Sprintf("tensor: mode-%d unfolding has %d columns, beyond the int32 column space", mode, block*nBlocks))
+	}
 	u := &Unfolded{
 		NumRows:   nRows,
 		NumCols:   block * nBlocks,
 		BlockSize: block,
 		NumBlocks: nBlocks,
 		rowPtr:    make([]int, nRows+1),
-		colIdx:    make([]int, len(t.coords)),
+		colIdx:    slab.Int32s(len(t.coords)),
 	}
 	// The coordinate list is sorted by (I, J, K), which for every mode
 	// leaves the inner column index ascending within a fixed (row, PVM
 	// block) pair. A stable counting sort by the composite key
 	// row·NumBlocks + block therefore emits each row's columns already
-	// sorted — no comparison sort at all. The bucket array is transient;
-	// fall back to per-row sorting when it would dwarf the nonzeros.
+	// sorted — no comparison sort at all. The bucket array is sized with
+	// two leading zero slots so the fill cursors (bucket b advances
+	// off[b+1]) end the pass holding exactly the start-offset table: no
+	// copy. Fall back to per-row sorting when the bucket array would
+	// dwarf the nonzeros.
 	if nb := nBlocks; nRows > 0 && nb > 0 && nRows <= (4*len(t.coords)+1024)/nb {
-		off := make([]int, nRows*nb+1)
+		n := nRows * nb
+		off := slab.Int32sZeroed(n + 2)
 		for _, c := range t.coords {
-			off[rowOf(c, mode)*nb+blockOf(c, mode)+1]++
+			off[rowOf(c, mode)*nb+blockOf(c, mode)+2]++
 		}
-		for b := 0; b < nRows*nb; b++ {
-			off[b+1] += off[b]
+		for b := 2; b <= n+1; b++ {
+			off[b] += off[b-1]
 		}
-		for r := 0; r < nRows; r++ {
-			u.rowPtr[r] = off[r*nb]
-		}
-		u.rowPtr[nRows] = len(t.coords)
 		for _, c := range t.coords {
-			b := rowOf(c, mode)*nb + blockOf(c, mode)
-			u.colIdx[off[b]] = colOf(c, mode, block)
+			b := rowOf(c, mode)*nb + blockOf(c, mode) + 1
+			u.colIdx[off[b]] = int32(colOf(c, mode, block))
 			off[b]++
 		}
+		u.bucketOff = off[:n+1]
+		for r := 0; r < nRows; r++ {
+			u.rowPtr[r] = int(off[r*nb])
+		}
+		u.rowPtr[nRows] = len(t.coords)
 		return u
 	}
 	// Counting sort by row, then fill columns and sort within each row.
@@ -254,14 +274,86 @@ func (t *Tensor) Unfold(mode Mode) *Unfolded {
 	copy(next, u.rowPtr[:nRows])
 	for _, c := range t.coords {
 		r := rowOf(c, mode)
-		u.colIdx[next[r]] = colOf(c, mode, block)
+		u.colIdx[next[r]] = int32(colOf(c, mode, block))
 		next[r]++
 	}
 	for r := 0; r < nRows; r++ {
 		row := u.colIdx[u.rowPtr[r]:u.rowPtr[r+1]]
-		sort.Ints(row)
+		slices.Sort(row)
 	}
 	return u
+}
+
+// UnfoldAll returns all three matricizations at once. When every mode is
+// eligible for the counting sort it fuses the three builds into a single
+// count pass and a single fill pass over the coordinate list — one third of
+// the coordinate traffic of three Unfold calls, which matters because the
+// unfold step is pure memory bandwidth. Falls back to per-mode Unfold
+// otherwise.
+func (t *Tensor) UnfoldAll() [3]*Unfolded {
+	nnz := len(t.coords)
+	dimI, dimJ, dimK := t.dimI, t.dimJ, t.dimK
+	eligible := func(nRows, nb int) bool {
+		return nRows > 0 && nb > 0 && nRows <= (4*nnz+1024)/nb
+	}
+	fits32 := func(a, b int) bool { return int64(a)*int64(b) <= math.MaxInt32 }
+	if !eligible(dimI, dimK) || !eligible(dimJ, dimK) || !eligible(dimK, dimJ) ||
+		!fits32(dimI, dimJ) || !fits32(dimI, dimK) || !fits32(dimJ, dimK) {
+		return [3]*Unfolded{t.Unfold(Mode1), t.Unfold(Mode2), t.Unfold(Mode3)}
+	}
+	skeleton := func(nRows, block, nBlocks int) (*Unfolded, []int32) {
+		u := &Unfolded{
+			NumRows:   nRows,
+			NumCols:   block * nBlocks,
+			BlockSize: block,
+			NumBlocks: nBlocks,
+			rowPtr:    make([]int, nRows+1),
+			colIdx:    slab.Int32s(nnz),
+		}
+		// Two leading zero slots, as in Unfold: the fill cursors end the
+		// pass holding the start-offset table in place.
+		return u, slab.Int32sZeroed(nRows*nBlocks + 2)
+	}
+	u1, off1 := skeleton(dimI, dimJ, dimK)
+	u2, off2 := skeleton(dimJ, dimI, dimK)
+	u3, off3 := skeleton(dimK, dimI, dimJ)
+	for _, c := range t.coords {
+		off1[c.I*dimK+c.K+2]++
+		off2[c.J*dimK+c.K+2]++
+		off3[c.K*dimJ+c.J+2]++
+	}
+	prefix := func(off []int32) {
+		for b := 2; b < len(off); b++ {
+			off[b] += off[b-1]
+		}
+	}
+	prefix(off1)
+	prefix(off2)
+	prefix(off3)
+	c1, c2, c3 := u1.colIdx, u2.colIdx, u3.colIdx
+	for _, c := range t.coords {
+		b := c.I*dimK + c.K + 1
+		c1[off1[b]] = int32(c.J + c.K*dimJ)
+		off1[b]++
+		b = c.J*dimK + c.K + 1
+		c2[off2[b]] = int32(c.I + c.K*dimI)
+		off2[b]++
+		b = c.K*dimJ + c.J + 1
+		c3[off3[b]] = int32(c.I + c.J*dimI)
+		off3[b]++
+	}
+	finish := func(u *Unfolded, off []int32) {
+		n := u.NumRows * u.NumBlocks
+		u.bucketOff = off[:n+1]
+		for r := 0; r < u.NumRows; r++ {
+			u.rowPtr[r] = int(off[r*u.NumBlocks])
+		}
+		u.rowPtr[u.NumRows] = nnz
+	}
+	finish(u1, off1)
+	finish(u2, off2)
+	finish(u3, off3)
+	return [3]*Unfolded{u1, u2, u3}
 }
 
 // blockOf returns the PVM block index of a coordinate under the given
@@ -300,25 +392,56 @@ func (u *Unfolded) NNZ() int { return len(u.colIdx) }
 
 // Row returns the sorted nonzero column indices of the given row. The
 // slice is shared; callers must not modify it.
-func (u *Unfolded) Row(r int) []int {
+func (u *Unfolded) Row(r int) []int32 {
 	return u.colIdx[u.rowPtr[r]:u.rowPtr[r+1]]
+}
+
+// BlockRow returns the sorted nonzero column indices of row r that lie
+// inside PVM block p (global columns [p·BlockSize, (p+1)·BlockSize)). With
+// the counting-sort bucket table retained the segment is located by pure
+// arithmetic; otherwise it falls back to binary searches within the row.
+// The slice is shared; callers must not modify it.
+func (u *Unfolded) BlockRow(r, p int) []int32 {
+	if u.bucketOff != nil {
+		b := r*u.NumBlocks + p
+		return u.colIdx[u.bucketOff[b]:u.bucketOff[b+1]]
+	}
+	return u.RowInRange(r, p*u.BlockSize, (p+1)*u.BlockSize)
+}
+
+// BucketOffs exposes the (row, PVM block) bucket table: bucket
+// b = row·NumBlocks + block spans Bucket(BucketOffs()[b], BucketOffs()[b+1]).
+// Nil when the unfolding was built by per-row sorting; partition.Build's
+// hot loops index it directly and fall back to BlockRow otherwise.
+func (u *Unfolded) BucketOffs() []int32 { return u.bucketOff }
+
+// Bucket returns the colIdx range [lo, hi) addressed by BucketOffs. The
+// slice is shared; callers must not modify it.
+func (u *Unfolded) Bucket(lo, hi int32) []int32 { return u.colIdx[lo:hi] }
+
+// Recycle returns the unfolding's large arrays to the slab pool and
+// poisons the unfolding against further use. Callers that build a
+// partitioning and keep nothing else (the decomposition engine, the TCP
+// worker) recycle the unfolding once partition.Build has copied every
+// nonzero; all other users simply let the garbage collector take it.
+func (u *Unfolded) Recycle() {
+	slab.PutInt32s(u.colIdx)
+	slab.PutInt32s(u.bucketOff)
+	u.colIdx, u.bucketOff, u.rowPtr = nil, nil, nil
 }
 
 // RowNNZInRange returns the number of nonzeros of row r whose column index
 // lies in [lo, hi).
 func (u *Unfolded) RowNNZInRange(r, lo, hi int) int {
-	row := u.Row(r)
-	a := sort.SearchInts(row, lo)
-	b := sort.SearchInts(row, hi)
-	return b - a
+	return len(u.RowInRange(r, lo, hi))
 }
 
 // RowInRange returns the nonzero column indices of row r in [lo, hi).
 // The slice is shared; callers must not modify it.
-func (u *Unfolded) RowInRange(r, lo, hi int) []int {
+func (u *Unfolded) RowInRange(r, lo, hi int) []int32 {
 	row := u.Row(r)
-	a := sort.SearchInts(row, lo)
-	b := sort.SearchInts(row, hi)
+	a := sort.Search(len(row), func(i int) bool { return int(row[i]) >= lo })
+	b := a + sort.Search(len(row)-a, func(i int) bool { return int(row[a+i]) >= hi })
 	return row[a:b]
 }
 
@@ -328,7 +451,8 @@ func Fold(u *Unfolded, mode Mode, i, j, k int) *Tensor {
 	t := New(i, j, k)
 	coords := make([]Coord, 0, u.NNZ())
 	for r := 0; r < u.NumRows; r++ {
-		for _, c := range u.Row(r) {
+		for _, c32 := range u.Row(r) {
+			c := int(c32)
 			inner := c % u.BlockSize
 			blk := c / u.BlockSize
 			var co Coord
@@ -418,7 +542,7 @@ func ReconstructError(x *Tensor, a, b, c *boolmat.FactorMatrix) int64 {
 		// |x_row ⊕ rec_row| = nnz(x_row) + |rec_row| − 2·overlap.
 		overlap := 0
 		for _, col := range u.Row(i) {
-			if row.Get(col) {
+			if row.Get(int(col)) {
 				overlap++
 			}
 		}

@@ -99,7 +99,7 @@ func TestUnfoldMappingEquation1(t *testing.T) {
 		for _, c := range x.Coords() {
 			found := false
 			for _, col := range u.Row(tc.row(c)) {
-				if col == tc.col(c) {
+				if int(col) == tc.col(c) {
 					found = true
 					break
 				}
@@ -233,7 +233,7 @@ func TestQuickMatricizedReconstruction(t *testing.T) {
 				want := prod.Get(row, col)
 				has := false
 				for _, cc := range got {
-					if cc == col {
+					if int(cc) == col {
 						has = true
 						break
 					}

@@ -127,8 +127,19 @@ func serveConn(conn net.Conn, host transport.Host) error {
 
 // runBatch executes one stage batch. The reply is all-or-nothing: any
 // task failure turns the whole batch into an error frame, so the
-// coordinator never has to reconcile a partially delivered batch.
+// coordinator never has to reconcile a partially delivered batch. Hosts
+// implementing transport.BatchHost run the batch themselves (fanning
+// tasks across the machine's threads) under the same contract; the
+// coordinator cannot tell the two apart except by speed.
 func runBatch(host transport.Host, req *transport.Msg) *transport.Msg {
+	if bh, ok := host.(transport.BatchHost); ok {
+		outs, err := bh.RunBatch(req.Spec, req.Tasks)
+		if err != nil {
+			return &transport.Msg{Type: transport.MsgError,
+				Error: fmt.Sprintf("stage %q %v", req.Spec.Name, err)}
+		}
+		return &transport.Msg{Type: transport.MsgResult, Outputs: outs}
+	}
 	outs := make([]transport.TaskOutput, 0, len(req.Tasks))
 	for _, task := range req.Tasks {
 		start := time.Now()

@@ -272,7 +272,7 @@ func (e *evaluator) error() int64 {
 		}
 		overlap := 0
 		for _, col := range e.u.Row(i) {
-			if rowBuf.Get(col) {
+			if rowBuf.Get(int(col)) {
 				overlap++
 			}
 		}

@@ -73,9 +73,11 @@ func (w *workerProc) Kill(t *testing.T) {
 
 // startWorkerProc launches a dbtf-worker on listen (use 127.0.0.1:0 for
 // an ephemeral port) and harvests the bound address from its stdout.
-func startWorkerProc(t *testing.T, listen string) *workerProc {
+// extraArgs are appended to the command line (e.g. "-threads", "4").
+func startWorkerProc(t *testing.T, listen string, extraArgs ...string) *workerProc {
 	t.Helper()
-	cmd := exec.Command(workerBinary(t), "-listen", listen, "-q")
+	args := append([]string{"-listen", listen, "-q"}, extraArgs...)
+	cmd := exec.Command(workerBinary(t), args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -108,12 +110,12 @@ func startWorkerProc(t *testing.T, listen string) *workerProc {
 	return w
 }
 
-func startWorkerProcs(t *testing.T, n int) ([]*workerProc, []string) {
+func startWorkerProcs(t *testing.T, n int, extraArgs ...string) ([]*workerProc, []string) {
 	t.Helper()
 	procs := make([]*workerProc, n)
 	addrs := make([]string, n)
 	for i := range procs {
-		procs[i] = startWorkerProc(t, "127.0.0.1:0")
+		procs[i] = startWorkerProc(t, "127.0.0.1:0", extraArgs...)
 		addrs[i] = procs[i].Addr
 	}
 	return procs, addrs
@@ -160,6 +162,48 @@ func TestTransportTCPIdenticalToSimulated(t *testing.T) {
 		}
 		if ts.ShuffledBytes != ss.ShuffledBytes || ts.BroadcastBytes != ss.BroadcastBytes || ts.CollectedBytes != ss.CollectedBytes {
 			t.Errorf("seed %d: traffic %d/%d/%d over tcp, %d/%d/%d simulated",
+				seed, ts.ShuffledBytes, ts.BroadcastBytes, ts.CollectedBytes,
+				ss.ShuffledBytes, ss.BroadcastBytes, ss.CollectedBytes)
+		}
+	}
+}
+
+// TestTransportTCPThreadedWorkersIdentical runs the same differential with
+// every worker process started with -threads 4: batched eval stages fan
+// out across each worker's pool, and the factors, error trajectory, and
+// the formula-based traffic accounting must still match the sequential
+// simulated cluster bit for bit — the socket-level form of the
+// ThreadsPerMachine determinism guarantee.
+func TestTransportTCPThreadedWorkersIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	const machines = 3
+	_, addrs := startWorkerProcs(t, machines, "-threads", "4")
+	for seed := int64(5); seed <= 6; seed++ {
+		x := diffTensor(t, seed)
+		opt := dbtf.Options{Rank: 4, Machines: machines, MaxIter: 5, Seed: seed, InitialSets: 2}
+		sim, err := dbtf.Factorize(context.Background(), x, opt)
+		if err != nil {
+			t.Fatalf("seed %d: simulated: %v", seed, err)
+		}
+		opt.Workers = addrs
+		tcp, err := dbtf.Factorize(context.Background(), x, opt)
+		if err != nil {
+			t.Fatalf("seed %d: tcp (threaded workers): %v", seed, err)
+		}
+		assertIdentical(t, seed, "tcp transport with threaded workers", sim, tcp)
+		if fmt.Sprint(tcp.IterationErrors) != fmt.Sprint(sim.IterationErrors) {
+			t.Errorf("seed %d: iteration trajectory %v over threaded tcp, %v simulated",
+				seed, tcp.IterationErrors, sim.IterationErrors)
+		}
+		ts, ss := tcp.Stats, sim.Stats
+		if ts.Stages != ss.Stages || ts.Tasks != ss.Tasks {
+			t.Errorf("seed %d: stages/tasks %d/%d over threaded tcp, %d/%d simulated",
+				seed, ts.Stages, ts.Tasks, ss.Stages, ss.Tasks)
+		}
+		if ts.ShuffledBytes != ss.ShuffledBytes || ts.BroadcastBytes != ss.BroadcastBytes || ts.CollectedBytes != ss.CollectedBytes {
+			t.Errorf("seed %d: traffic %d/%d/%d over threaded tcp, %d/%d/%d simulated",
 				seed, ts.ShuffledBytes, ts.BroadcastBytes, ts.CollectedBytes,
 				ss.ShuffledBytes, ss.BroadcastBytes, ss.CollectedBytes)
 		}
