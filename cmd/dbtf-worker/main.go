@@ -17,6 +17,12 @@
 // that resets it — so one long-lived worker can serve many runs, and a
 // worker restarted after a crash rejoins a live run at the next stage
 // boundary via the coordinator's replay.
+//
+// SIGTERM and SIGINT drain gracefully: the listener closes, in-flight
+// stage batches finish and are answered (bounded by -drain), and the
+// process exits 0. The coordinator observes the closed connection as a
+// machine loss at the next stage boundary and reroutes — no batch is
+// ever cut off mid-reply.
 package main
 
 import (
@@ -25,6 +31,9 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"dbtf/internal/core"
 	"dbtf/internal/transport/tcp"
@@ -42,10 +51,14 @@ func run(args []string) error {
 	var (
 		listen  = fs.String("listen", "127.0.0.1:0", "address to listen on (port 0 picks an ephemeral port)")
 		threads = fs.Int("threads", 1, "OS threads this machine may use inside a stage batch (results are identical for any value)")
+		drain   = fs.Duration("drain", 30*time.Second, "max time to wait for in-flight stage batches on SIGTERM/SIGINT")
 		quiet   = fs.Bool("q", false, "suppress per-connection log lines")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *drain <= 0 {
+		return fmt.Errorf("-drain must be positive, got %v", *drain)
 	}
 	lis, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -59,5 +72,30 @@ func run(args []string) error {
 	if *quiet {
 		logf = nil
 	}
-	return tcp.Serve(lis, core.NewWorkerThreads(*threads), logf)
+
+	srv := tcp.NewServer(core.NewWorkerThreads(*threads), logf)
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	draining := make(chan struct{})
+	shutDone := make(chan error, 1)
+	go func() {
+		sig := <-sigc
+		signal.Stop(sigc)
+		// Harvestable like the address line: tests assert the drain ran.
+		fmt.Printf("dbtf-worker received %v, draining\n", sig)
+		close(draining)
+		shutDone <- srv.Shutdown(*drain)
+	}()
+
+	if err := srv.Serve(lis); err != nil {
+		return err
+	}
+	select {
+	case <-draining:
+		// Serve unblocked because of the signal; wait for the drain.
+		return <-shutDone
+	default:
+		// Serve ended without a signal (listener closed externally).
+		return nil
+	}
 }

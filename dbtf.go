@@ -126,6 +126,13 @@ type Options struct {
 	// and tensor. A missing checkpoint starts fresh. Requires
 	// CheckpointDir.
 	Resume bool
+	// Preempt, when non-nil, is polled once per completed iteration: when
+	// it returns true the run checkpoints and stops with an error wrapping
+	// ErrPreempted, so a scheduler can evict a running job and later
+	// continue it bit-identically with Resume. A run that converged or
+	// reached MaxIter finishes instead of preempting. Requires
+	// CheckpointDir.
+	Preempt func() bool
 	// NoCache disables row-summation caching (for ablations only).
 	NoCache bool
 	// Horizontal switches to horizontal (rank) partitioning (for ablations
@@ -156,6 +163,11 @@ const (
 
 // MaxRank is the largest supported decomposition rank.
 const MaxRank = 64
+
+// ErrPreempted is returned (wrapped) by Factorize when Options.Preempt
+// stops a run at an iteration boundary; the checkpoint written at that
+// boundary makes a later Resume bit-identical to an uninterrupted run.
+var ErrPreempted = core.ErrPreempted
 
 // Factors groups the three binary factor matrices of a decomposition:
 // A is I×R, B is J×R, C is K×R.
@@ -205,7 +217,7 @@ func Factorize(ctx context.Context, x *Tensor, opt Options) (out *Result, err er
 			return nil, errors.New("dbtf: Faults requires the simulated backend (unset Workers)")
 		}
 		machines = len(opt.Workers)
-		co, derr := tcp.Dial(tcp.Config{Addrs: opt.Workers})
+		co, derr := tcp.DialContext(ctx, tcp.Config{Addrs: opt.Workers})
 		if derr != nil {
 			return nil, derr
 		}
@@ -239,6 +251,7 @@ func Factorize(ctx context.Context, x *Tensor, opt Options) (out *Result, err er
 		CheckpointDir:   opt.CheckpointDir,
 		CheckpointEvery: opt.CheckpointEvery,
 		Resume:          opt.Resume,
+		Preempt:         opt.Preempt,
 		NoCache:         opt.NoCache,
 		Horizontal:      opt.Horizontal,
 		Trace:           opt.Trace,

@@ -22,7 +22,7 @@ import (
 var ErrCheck = &Analyzer{
 	Name:  "errcheck",
 	Doc:   "flags discarded errors from Close/Sync/Rename/Remove on the durable write path",
-	Scope: []string{"internal/core", "internal/boolmat"},
+	Scope: []string{"internal/core", "internal/boolmat", "internal/serve"},
 	Run:   runErrCheck,
 }
 

@@ -116,6 +116,11 @@ type Config struct {
 	// instead of a FaultPlan: the two are mutually exclusive, and
 	// Transport.Machines() must equal Machines.
 	Transport transport.Transport
+	// Gate, when non-nil, bounds concurrent task execution across every
+	// cluster sharing it — the job server's host-CPU admission gate. See
+	// Gate. Waiting at the gate is host contention and is not charged to
+	// the simulated clock.
+	Gate *Gate
 }
 
 // DefaultMaxRetries is the per-task retry bound when Config.MaxRetries is
@@ -204,6 +209,9 @@ type Cluster struct {
 	// transport executes remote-capable stages on real machines; nil
 	// selects the simulated pool. Immutable after New.
 	transport transport.Transport
+	// gate bounds concurrent task execution across clusters; nil means
+	// ungated. Immutable after New.
+	gate *Gate
 
 	// now is the clock used to measure task and driver durations;
 	// replaceable in tests for deterministic ledger checks.
@@ -320,7 +328,7 @@ func New(cfg Config) *Cluster {
 		machines: cfg.Machines, parallelism: p, network: net,
 		threads: threads, pools: pools,
 		maxRetries: retries, retryBackoff: backoff, faults: cfg.Faults,
-		tracer: cfg.Tracer, transport: cfg.Transport,
+		tracer: cfg.Tracer, transport: cfg.Transport, gate: cfg.Gate,
 		//dbtf:allow-nondeterministic default clock measures real task durations; tests inject a deterministic one
 		now:   time.Now,
 		alive: alive, aliveCount: cfg.Machines, diedAt: make([]int64, cfg.Machines),
@@ -771,7 +779,18 @@ func (c *Cluster) ForEachNamed(ctx context.Context, name string, n int, fn func(
 						return
 					}
 					assigned := c.MachineFor(t)
+					if c.gate != nil {
+						// Host-CPU admission across clusters; the wait is
+						// real-host contention, never simulated time.
+						if err := c.gate.acquire(ctx); err != nil {
+							fail(err)
+							return
+						}
+					}
 					simNanos, err := c.runAttempts(st, st.stage, t, assigned)
+					if c.gate != nil {
+						c.gate.release()
+					}
 					st.charge(assigned, simNanos)
 					if err != nil {
 						// A task failure — including a recovered panic —

@@ -1,0 +1,36 @@
+package cluster
+
+import "context"
+
+// Gate is a host-CPU admission gate shared across clusters: it bounds
+// how many cluster tasks may execute concurrently on the real machine,
+// across every Cluster configured with it. The job server gives each
+// running job its own Cluster but one shared Gate, so the host is never
+// oversubscribed by (jobs × machines) goroutines while each job's
+// simulated M-machine ledger stays untouched — waiting at the gate is
+// real-host contention, not modeled cluster time, and is deliberately
+// not charged to SimTime.
+type Gate struct {
+	slots chan struct{}
+}
+
+// NewGate returns a gate admitting at most n concurrent tasks. n must be
+// >= 1.
+func NewGate(n int) *Gate {
+	if n < 1 {
+		panic("cluster: gate size must be >= 1")
+	}
+	return &Gate{slots: make(chan struct{}, n)}
+}
+
+// acquire blocks until a slot frees or ctx is done.
+func (g *Gate) acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *Gate) release() { <-g.slots }

@@ -13,11 +13,22 @@ import (
 	"dbtf/internal/tensor"
 )
 
-// CheckpointFile is the name of the checkpoint inside Options.CheckpointDir.
-// A single name (rather than per-iteration files) plus the atomic
-// rename-over write means the directory always holds exactly one complete,
-// valid checkpoint: the latest one.
+// CheckpointFile is the legacy (pre-namespacing) checkpoint name inside
+// Options.CheckpointDir. New checkpoints are written under
+// CheckpointFileName(fingerprint) so that concurrent jobs sharing one
+// directory never collide; readCheckpoint still falls back to this name so
+// directories written by older builds keep resuming.
 const CheckpointFile = "checkpoint.dbtf"
+
+// CheckpointFileName returns the checkpoint file name for a run with the
+// given config+tensor fingerprint (see Fingerprint). Namespacing the file
+// by fingerprint means any number of jobs may share one checkpoint
+// directory: each run only ever reads and atomically replaces its own
+// file, and a changed configuration starts its own checkpoint lineage
+// instead of clobbering another run's.
+func CheckpointFileName(fp uint64) string {
+	return fmt.Sprintf("checkpoint-%016x.dbtf", fp)
+}
 
 // checkpointMagic identifies the checkpoint format; the trailing byte is
 // the format version.
@@ -201,11 +212,11 @@ func decodeCheckpoint(data []byte) (*checkpoint, error) {
 	return ck, nil
 }
 
-// writeCheckpoint durably replaces the checkpoint in dir: the image is
-// written to a temp file in the same directory, fsynced, renamed over
-// CheckpointFile, and the directory is fsynced — a crash at any point
-// leaves either the old checkpoint or the new one, never a torn file.
-// Returns the image size.
+// writeCheckpoint durably replaces the run's checkpoint in dir: the image
+// is written to a temp file in the same directory, fsynced, renamed over
+// CheckpointFileName(ck.Fingerprint), and the directory is fsynced — a
+// crash at any point leaves either the old checkpoint or the new one,
+// never a torn file. Returns the image size.
 func writeCheckpoint(dir string, ck *checkpoint) (int64, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return 0, err
@@ -234,7 +245,7 @@ func writeCheckpoint(dir string, ck *checkpoint) (int64, error) {
 		os.Remove(tmp)
 		return 0, err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, CheckpointFile)); err != nil {
+	if err := os.Rename(tmp, filepath.Join(dir, CheckpointFileName(ck.Fingerprint))); err != nil {
 		//dbtf:allow-unchecked best-effort cleanup; the rename error is propagated
 		os.Remove(tmp)
 		return 0, err
@@ -254,13 +265,19 @@ func writeCheckpoint(dir string, ck *checkpoint) (int64, error) {
 	return int64(len(data)), nil
 }
 
-// readCheckpoint loads the checkpoint from dir. A missing file returns
-// (nil, nil): resuming a run that was killed before its first checkpoint
-// boundary simply starts fresh.
-func readCheckpoint(dir string) (*checkpoint, error) {
-	data, err := os.ReadFile(filepath.Join(dir, CheckpointFile))
+// readCheckpoint loads the checkpoint for the run with fingerprint fp from
+// dir: first the fingerprint-namespaced file, then the legacy un-namespaced
+// CheckpointFile (directories written by older builds — the caller's
+// fingerprint check still rejects a legacy checkpoint from a different
+// configuration). A missing file returns (nil, nil): resuming a run that
+// was killed before its first checkpoint boundary simply starts fresh.
+func readCheckpoint(dir string, fp uint64) (*checkpoint, error) {
+	data, err := os.ReadFile(filepath.Join(dir, CheckpointFileName(fp)))
 	if os.IsNotExist(err) {
-		return nil, nil
+		data, err = os.ReadFile(filepath.Join(dir, CheckpointFile))
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -298,6 +315,21 @@ func fingerprint(x *tensor.Tensor, opt Options, machines int) uint64 {
 		h.u64(uint64(co.K))
 	}
 	return h.sum
+}
+
+// Fingerprint returns the config+tensor fingerprint a run with the given
+// options on a machines-machine cluster binds its checkpoints to. Options
+// are resolved to their defaults first, exactly as Decompose resolves
+// them, so the value matches the fingerprint of the actual run. The
+// service layer uses it to name a job's checkpoint lineage (see
+// CheckpointFileName) and as a job-scoped RNG/config identity when
+// verifying bit-identical resumption.
+func Fingerprint(x *tensor.Tensor, opts Options, machines int) (uint64, error) {
+	opt, err := opts.withDefaults(x, machines)
+	if err != nil {
+		return 0, err
+	}
+	return fingerprint(x, opt, machines), nil
 }
 
 type fnv64a struct{ sum uint64 }

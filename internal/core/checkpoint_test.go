@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"dbtf/internal/boolmat"
@@ -92,29 +93,48 @@ func TestWriteCheckpointAtomicReplace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := readCheckpoint(dir)
+	got, err := readCheckpoint(dir, second.Fingerprint)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !checkpointsEqual(second, got) {
 		t.Fatal("read checkpoint is not the latest written one")
 	}
+	name := CheckpointFileName(second.Fingerprint)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 1 || entries[0].Name() != CheckpointFile {
-		t.Fatalf("directory holds %v, want only %s (no temp files)", entries, CheckpointFile)
+	if len(entries) != 1 || entries[0].Name() != name {
+		t.Fatalf("directory holds %v, want only %s (no temp files)", entries, name)
 	}
-	if fi, err := os.Stat(filepath.Join(dir, CheckpointFile)); err != nil || fi.Size() != n {
+	if fi, err := os.Stat(filepath.Join(dir, name)); err != nil || fi.Size() != n {
 		t.Fatalf("checkpoint size %v (err %v), recorded %d", fi, err, n)
 	}
 }
 
 func TestReadCheckpointMissingIsFreshStart(t *testing.T) {
-	ck, err := readCheckpoint(t.TempDir())
+	ck, err := readCheckpoint(t.TempDir(), 0xabc)
 	if err != nil || ck != nil {
 		t.Fatalf("readCheckpoint(empty dir) = %v, %v; want nil, nil", ck, err)
+	}
+}
+
+func TestReadCheckpointLegacyFallback(t *testing.T) {
+	// A directory written by a pre-namespacing build holds the checkpoint
+	// under the bare legacy name; readCheckpoint must still find it.
+	dir := t.TempDir()
+	ck := testCheckpoint()
+	if _, err := writeCheckpoint(dir, ck); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(filepath.Join(dir, CheckpointFileName(ck.Fingerprint)),
+		filepath.Join(dir, CheckpointFile)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readCheckpoint(dir, ck.Fingerprint)
+	if err != nil || got == nil || !checkpointsEqual(ck, got) {
+		t.Fatalf("legacy checkpoint not read back: %v, %v", got, err)
 	}
 }
 
@@ -202,7 +222,11 @@ func TestKillAtCheckpointThenResumeBitIdentical(t *testing.T) {
 			if _, err := Decompose(ctx, x, testCluster(4), opt); !errors.Is(err, context.Canceled) {
 				t.Fatalf("killed run returned %v, want context.Canceled", err)
 			}
-			ck, err := readCheckpoint(opt.CheckpointDir)
+			fp, err := Fingerprint(x, opt, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ck, err := readCheckpoint(opt.CheckpointDir, fp)
 			if err != nil || ck == nil || ck.Iteration != k {
 				t.Fatalf("latest checkpoint after kill: %+v, %v; want iteration %d", ck, err, k)
 			}
@@ -240,6 +264,9 @@ func TestResumeMissingCheckpointStartsFresh(t *testing.T) {
 }
 
 func TestResumeRejectsFingerprintMismatch(t *testing.T) {
+	// Legacy (un-namespaced) checkpoint files carry no config identity in
+	// their name, so resuming under a changed config finds the stale file
+	// through the fallback and must refuse it explicitly.
 	rng := rand.New(rand.NewSource(11))
 	x, _, _, _ := plantedTensor(rng, 10, 10, 10, 2, 0.3)
 	dir := t.TempDir()
@@ -247,11 +274,58 @@ func TestResumeRejectsFingerprintMismatch(t *testing.T) {
 	if _, err := Decompose(context.Background(), x, testCluster(2), opt); err != nil {
 		t.Fatal(err)
 	}
+	fp, err := Fingerprint(x, opt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(filepath.Join(dir, CheckpointFileName(fp)),
+		filepath.Join(dir, CheckpointFile)); err != nil {
+		t.Fatal(err)
+	}
 	opt.Seed = 6
 	opt.Resume = true
-	_, err := Decompose(context.Background(), x, testCluster(2), opt)
+	_, err = Decompose(context.Background(), x, testCluster(2), opt)
 	if err == nil || !strings.Contains(err.Error(), "fingerprint") {
 		t.Fatalf("resume under a changed config returned %v, want fingerprint mismatch", err)
+	}
+}
+
+func TestResumeChangedConfigStartsFreshNamespace(t *testing.T) {
+	// With fingerprint-namespaced files a changed config simply has no
+	// checkpoint of its own yet: it starts fresh in its own lineage and
+	// must not disturb the original run's file.
+	rng := rand.New(rand.NewSource(11))
+	x, _, _, _ := plantedTensor(rng, 10, 10, 10, 2, 0.3)
+	dir := t.TempDir()
+	opt := Options{Rank: 2, MaxIter: 3, MinIter: 3, Seed: 5, CheckpointDir: dir}
+	if _, err := Decompose(context.Background(), x, testCluster(2), opt); err != nil {
+		t.Fatal(err)
+	}
+	fpOld, err := Fingerprint(x, opt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldImage, err := os.ReadFile(filepath.Join(dir, CheckpointFileName(fpOld)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Seed = 6
+	opt.Resume = true
+	res, err := Decompose(context.Background(), x, testCluster(2), opt)
+	if err != nil {
+		t.Fatalf("resume under a changed config with namespaced checkpoints: %v (want fresh start)", err)
+	}
+	plain, err := Decompose(context.Background(), x, testCluster(2),
+		Options{Rank: 2, MaxIter: 3, MinIter: 3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsEqual(res, plain) {
+		t.Fatal("changed-config resume must run fresh and match a plain run")
+	}
+	after, err := os.ReadFile(filepath.Join(dir, CheckpointFileName(fpOld)))
+	if err != nil || string(after) != string(oldImage) {
+		t.Fatalf("original run's checkpoint disturbed by the new lineage (err %v)", err)
 	}
 }
 
@@ -286,7 +360,11 @@ func TestCheckpointEveryKWritesFinal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ck, err := readCheckpoint(opt.CheckpointDir)
+	fp, err := Fingerprint(x, opt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := readCheckpoint(opt.CheckpointDir, fp)
 	if err != nil || ck == nil {
 		t.Fatalf("readCheckpoint: %v, %v", ck, err)
 	}
@@ -296,6 +374,85 @@ func TestCheckpointEveryKWritesFinal(t *testing.T) {
 	}
 	if res.Stats.CheckpointBytes <= 0 {
 		t.Fatalf("CheckpointBytes = %d, want > 0", res.Stats.CheckpointBytes)
+	}
+}
+
+func TestConcurrentCheckpointJobsSharedDir(t *testing.T) {
+	// Two resumable jobs sharing one checkpoint directory (the job server's
+	// default before per-job dirs, and the CLI's -checkpoint-dir) must not
+	// collide: each writes and reads only its fingerprint-namespaced file.
+	// Under -race this also drives the two write paths concurrently.
+	rng := rand.New(rand.NewSource(23))
+	x, _, _, _ := plantedTensor(rng, 14, 12, 10, 3, 0.3)
+	shared := t.TempDir()
+	seeds := []int64{101, 202}
+	mkOpt := func(seed int64) Options {
+		return Options{Rank: 3, MaxIter: 4, MinIter: 4, Seed: seed,
+			CheckpointDir: shared, CheckpointEvery: 1}
+	}
+
+	solo := make([]*Result, len(seeds))
+	for i, seed := range seeds {
+		res, err := Decompose(context.Background(), x, testCluster(4),
+			Options{Rank: 3, MaxIter: 4, MinIter: 4, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo[i] = res
+	}
+
+	results := make([]*Result, len(seeds))
+	errs := make([]error, len(seeds))
+	var wg sync.WaitGroup
+	for i, seed := range seeds {
+		wg.Add(1)
+		go func(i int, seed int64) {
+			defer wg.Done()
+			results[i], errs[i] = Decompose(context.Background(), x, testCluster(4), mkOpt(seed))
+		}(i, seed)
+	}
+	wg.Wait()
+	for i := range seeds {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !resultsEqual(results[i], solo[i]) {
+			t.Fatalf("job %d sharing a checkpoint dir diverged from its solo run", i)
+		}
+	}
+
+	want := map[string]bool{}
+	for _, seed := range seeds {
+		fp, err := Fingerprint(x, mkOpt(seed), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[CheckpointFileName(fp)] = true
+	}
+	entries, err := os.ReadDir(shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(want) {
+		t.Fatalf("shared dir holds %d files, want %d", len(entries), len(want))
+	}
+	for _, e := range entries {
+		if !want[e.Name()] {
+			t.Fatalf("unexpected file %s in shared checkpoint dir", e.Name())
+		}
+	}
+
+	// Each job resumes its own lineage from the shared directory.
+	for i, seed := range seeds {
+		opt := mkOpt(seed)
+		opt.Resume = true
+		res, err := Decompose(context.Background(), x, testCluster(4), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultsEqual(res, solo[i]) {
+			t.Fatalf("job %d resumed from the shared dir does not match its solo run", i)
+		}
 	}
 }
 

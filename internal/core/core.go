@@ -117,6 +117,15 @@ type Options struct {
 	// fingerprint must match this run's. A missing checkpoint file starts
 	// a fresh run. Requires CheckpointDir.
 	Resume bool
+	// Preempt, when non-nil, is polled once per completed iteration at the
+	// iteration boundary. Returning true evicts the run: the boundary's
+	// state is written as a durable checkpoint (whether or not the period
+	// was due) and Decompose returns an error wrapping ErrPreempted. A
+	// preempted run resumed with Resume continues bit-identically to one
+	// that was never interrupted — this is the eviction/timeslicing hook of
+	// the job server. A run that just converged or completed its final
+	// iteration finishes instead of yielding. Requires CheckpointDir.
+	Preempt func() bool
 	// Trace, when non-nil, receives human-readable progress lines.
 	Trace func(format string, args ...any)
 }
@@ -176,11 +185,21 @@ func (o *Options) withDefaults(x *tensor.Tensor, machines int) (Options, error) 
 		if opt.CheckpointEvery > 0 {
 			return opt, errors.New("core: CheckpointEvery requires CheckpointDir")
 		}
+		if opt.Preempt != nil {
+			return opt, errors.New("core: Preempt requires CheckpointDir (eviction resumes from the checkpoint)")
+		}
 	} else if opt.CheckpointEvery == 0 {
 		opt.CheckpointEvery = 1
 	}
 	return opt, nil
 }
+
+// ErrPreempted is returned (wrapped) by Decompose when Options.Preempt
+// evicted the run at an iteration boundary. The boundary's state was
+// durably checkpointed first, so rerunning with Resume continues the run
+// bit-identically; nothing about the run failed. Callers detect it with
+// errors.Is.
+var ErrPreempted = errors.New("core: run preempted at iteration boundary")
 
 // Result reports the outcome of a decomposition.
 type Result struct {
@@ -286,7 +305,7 @@ func Decompose(ctx context.Context, x *tensor.Tensor, cl *cluster.Cluster, opts 
 	}
 	var resumed *checkpoint
 	if opt.Resume {
-		ck, err := readCheckpoint(opt.CheckpointDir)
+		ck, err := readCheckpoint(opt.CheckpointDir, d.fp)
 		if err != nil {
 			return nil, err
 		}
@@ -337,6 +356,23 @@ func Decompose(ctx context.Context, x *tensor.Tensor, cl *cluster.Cluster, opts 
 	var a, b, c *boolmat.FactorMatrix
 	var prevErr int64
 
+	// preempt is the eviction poll at the boundary of completed iteration
+	// t: a run that just converged or finished its last iteration is about
+	// to return its result and is never evicted. When the hook fires, the
+	// boundary's state is checkpointed (unless the periodic write above
+	// already did) so a Resume continues bit-identically.
+	preempt := func(t int, wrote bool) (bool, error) {
+		if opt.Preempt == nil || res.Converged || t >= opt.MaxIter || !opt.Preempt() {
+			return false, nil
+		}
+		if !wrote {
+			if err := d.writeCheckpointStage(res, a, b, c, prevErr, src.n); err != nil {
+				return false, err
+			}
+		}
+		return true, nil
+	}
+
 	if resumed != nil {
 		// The RNG is consumed only by initialization, which the resumed
 		// run already performed; fast-forwarding by the recorded draw
@@ -386,12 +422,20 @@ func Decompose(ctx context.Context, x *tensor.Tensor, cl *cluster.Cluster, opts 
 		}
 		res.Iterations = 1
 		res.IterationErrors = append(res.IterationErrors, prevErr)
-		if checkpointing && (1%opt.CheckpointEvery == 0 || opt.MaxIter == 1) {
+		wrote := checkpointing && (1%opt.CheckpointEvery == 0 || opt.MaxIter == 1)
+		if wrote {
 			if err := d.writeCheckpointStage(res, a, b, c, prevErr, src.n); err != nil {
 				return nil, err
 			}
 		}
+		stop, err := preempt(1, wrote)
+		if err != nil {
+			return nil, err
+		}
 		d.endIteration(1, prevErr, 0)
+		if stop {
+			return nil, fmt.Errorf("%w (after iteration 1)", ErrPreempted)
+		}
 	}
 
 	for t := res.Iterations + 1; t <= opt.MaxIter && !res.Converged; t++ {
@@ -411,12 +455,20 @@ func Decompose(ctx context.Context, x *tensor.Tensor, cl *cluster.Cluster, opts 
 		}
 		improvement := prevErr - e
 		prevErr = e
-		if checkpointing && (t%opt.CheckpointEvery == 0 || res.Converged || t == opt.MaxIter) {
+		wrote := checkpointing && (t%opt.CheckpointEvery == 0 || res.Converged || t == opt.MaxIter)
+		if wrote {
 			if err := d.writeCheckpointStage(res, a, b, c, prevErr, src.n); err != nil {
 				return nil, err
 			}
 		}
+		stop, err := preempt(t, wrote)
+		if err != nil {
+			return nil, err
+		}
 		d.endIteration(t, e, improvement)
+		if stop {
+			return nil, fmt.Errorf("%w (after iteration %d)", ErrPreempted, t)
+		}
 	}
 
 	res.A, res.B, res.C = a, b, c

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestPreemptRequiresCheckpointDir(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, _, _, _ := plantedTensor(rng, 8, 8, 8, 2, 0.3)
+	_, err := Decompose(context.Background(), x, testCluster(2),
+		Options{Rank: 2, MaxIter: 2, Preempt: func() bool { return true }})
+	if err == nil {
+		t.Fatal("Preempt without CheckpointDir was accepted; eviction would lose the job")
+	}
+	if !strings.Contains(err.Error(), "CheckpointDir") {
+		t.Fatalf("error %q does not name CheckpointDir", err)
+	}
+}
+
+func TestPreemptEvictsAndResumesBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	x, _, _, _ := plantedTensor(rng, 14, 12, 10, 3, 0.3)
+	base := Options{Rank: 3, MaxIter: 5, MinIter: 5, InitialSets: 2, Seed: 77, CheckpointEvery: 2}
+
+	opt := base
+	opt.CheckpointDir = t.TempDir()
+	uninterrupted, err := Decompose(context.Background(), x, testCluster(4), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// CheckpointEvery is 2 so preemption at odd boundaries must force an
+	// off-period checkpoint write before the job is evicted.
+	for _, evictAfter := range []int{1, 2, 3, 4} {
+		t.Run(fmt.Sprintf("after-iteration-%d", evictAfter), func(t *testing.T) {
+			opt := base
+			opt.CheckpointDir = t.TempDir()
+			polls := 0
+			opt.Preempt = func() bool { polls++; return polls == evictAfter }
+			_, err := Decompose(context.Background(), x, testCluster(4), opt)
+			if !errors.Is(err, ErrPreempted) {
+				t.Fatalf("evicted run returned %v, want ErrPreempted", err)
+			}
+			opt.Preempt = nil
+			opt.Resume = true
+			resumed, err := Decompose(context.Background(), x, testCluster(4), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !resultsEqual(uninterrupted, resumed) {
+				t.Fatalf("resume after eviction at iteration %d diverged from the uninterrupted run", evictAfter)
+			}
+		})
+	}
+}
+
+func TestPreemptEveryIterationCompletesViaResume(t *testing.T) {
+	// Worst-case timeslicing: the scheduler evicts the job at every single
+	// iteration boundary. Re-admitting with Resume must make one iteration of
+	// progress per slice and land on the same factors as a run that was never
+	// interrupted.
+	rng := rand.New(rand.NewSource(47))
+	x, _, _, _ := plantedTensor(rng, 12, 10, 9, 2, 0.3)
+	opt := Options{Rank: 2, MaxIter: 4, MinIter: 4, Seed: 9,
+		CheckpointDir: t.TempDir(), CheckpointEvery: 1}
+	uninterrupted, err := Decompose(context.Background(), x, testCluster(3), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt.CheckpointDir = t.TempDir()
+	opt.Preempt = func() bool { return true }
+	var res *Result
+	runs := 0
+	for {
+		runs++
+		if runs > 2*opt.MaxIter {
+			t.Fatalf("no progress after %d slices", runs)
+		}
+		r, err := Decompose(context.Background(), x, testCluster(3), opt)
+		if errors.Is(err, ErrPreempted) {
+			opt.Resume = true
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		res = r
+		break
+	}
+	if runs < 2 {
+		t.Fatalf("preempt-every-iteration run finished in %d slice(s); hook never fired", runs)
+	}
+	if !resultsEqual(uninterrupted, res) {
+		t.Fatal("timesliced run diverged from the uninterrupted run")
+	}
+}

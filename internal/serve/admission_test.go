@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func admitSpec(tenant string) *JobSpec {
+	return &JobSpec{Tenant: tenant, TensorID: "x", Rank: 2}
+}
+
+func TestAdmitQueueFull(t *testing.T) {
+	a := newAdmissionState()
+	cfg := AdmissionConfig{MaxQueued: 3, RetryAfter: 2 * time.Second}.withDefaults()
+	now := time.Unix(1000, 0)
+	// queued+running at the limit: reject with the configured backoff.
+	aerr := a.admit(now, admitSpec("t"), cfg, 2, 0, 1, 100)
+	if aerr == nil || aerr.Reason != "queue_full" {
+		t.Fatalf("admit = %v, want queue_full", aerr)
+	}
+	if aerr.RetryAfter != 2*time.Second {
+		t.Fatalf("RetryAfter = %v, want 2s", aerr.RetryAfter)
+	}
+	if a.shed["queue_full"] != 1 {
+		t.Fatalf("shed = %v", a.shed)
+	}
+	// One slot free: admitted, and the memory estimate is reserved.
+	if aerr := a.admit(now, admitSpec("t"), cfg, 1, 0, 1, 100); aerr != nil {
+		t.Fatalf("admit with free slot = %v", aerr)
+	}
+	if a.memoryBytes != 100 {
+		t.Fatalf("memoryBytes = %d, want 100", a.memoryBytes)
+	}
+}
+
+func TestAdmitTenantQuota(t *testing.T) {
+	a := newAdmissionState()
+	cfg := AdmissionConfig{MaxQueuedPerTenant: 2}.withDefaults()
+	now := time.Unix(1000, 0)
+	aerr := a.admit(now, admitSpec("greedy"), cfg, 5, 2, 0, 10)
+	if aerr == nil || aerr.Reason != "tenant_quota" {
+		t.Fatalf("admit = %v, want tenant_quota", aerr)
+	}
+	// Another tenant is unaffected by greedy's quota.
+	if aerr := a.admit(now, admitSpec("other"), cfg, 5, 0, 0, 10); aerr != nil {
+		t.Fatalf("other tenant = %v", aerr)
+	}
+}
+
+func TestAdmitMemoryBudget(t *testing.T) {
+	a := newAdmissionState()
+	cfg := AdmissionConfig{MemoryBudget: 1000}.withDefaults()
+	now := time.Unix(1000, 0)
+	if aerr := a.admit(now, admitSpec("t"), cfg, 0, 0, 0, 600); aerr != nil {
+		t.Fatalf("first admit = %v", aerr)
+	}
+	aerr := a.admit(now, admitSpec("t"), cfg, 1, 1, 0, 600)
+	if aerr == nil || aerr.Reason != "memory_budget" {
+		t.Fatalf("admit = %v, want memory_budget", aerr)
+	}
+	// Releasing the first job's estimate frees the budget again.
+	a.releaseMemory(600)
+	if aerr := a.admit(now, admitSpec("t"), cfg, 0, 0, 0, 600); aerr != nil {
+		t.Fatalf("admit after release = %v", aerr)
+	}
+	a.releaseMemory(9999) // floors at zero, never goes negative
+	if a.memoryBytes != 0 {
+		t.Fatalf("memoryBytes = %d, want 0", a.memoryBytes)
+	}
+}
+
+func TestAdmitRateLimitRefillsOverTime(t *testing.T) {
+	a := newAdmissionState()
+	cfg := AdmissionConfig{TenantRate: 1, TenantBurst: 2}.withDefaults()
+	now := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		if aerr := a.admit(now, admitSpec("t"), cfg, 0, 0, 0, 1); aerr != nil {
+			t.Fatalf("burst admit %d = %v", i, aerr)
+		}
+	}
+	aerr := a.admit(now, admitSpec("t"), cfg, 0, 0, 0, 1)
+	if aerr == nil || aerr.Reason != "rate_limited" {
+		t.Fatalf("admit = %v, want rate_limited", aerr)
+	}
+	if aerr.RetryAfter <= 0 || aerr.RetryAfter > 2*time.Second {
+		t.Fatalf("RetryAfter = %v, want ~1s", aerr.RetryAfter)
+	}
+	// A second tenant has its own bucket.
+	if aerr := a.admit(now, admitSpec("u"), cfg, 0, 0, 0, 1); aerr != nil {
+		t.Fatalf("tenant u = %v", aerr)
+	}
+	// After the backoff the bucket has refilled.
+	later := now.Add(1100 * time.Millisecond)
+	if aerr := a.admit(later, admitSpec("t"), cfg, 0, 0, 0, 1); aerr != nil {
+		t.Fatalf("admit after refill = %v", aerr)
+	}
+}
+
+func TestTokenBucketZeroRateNeverRefills(t *testing.T) {
+	b := &tokenBucket{}
+	now := time.Unix(1000, 0)
+	if ok, _ := b.take(now, 0, 1); !ok {
+		t.Fatal("burst token should be available")
+	}
+	ok, wait := b.take(now.Add(time.Hour), 0, 1)
+	if ok {
+		t.Fatal("zero rate should never refill")
+	}
+	if wait != time.Hour {
+		t.Fatalf("wait = %v, want 1h sentinel", wait)
+	}
+}

@@ -1,0 +1,110 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dbtf/internal/serve"
+)
+
+// TestScenarioWithDrainRestart runs a compact chaos scenario entirely
+// in-process: open-loop submissions with forced evictions, a mid-flight
+// drain + restart over the same data dir, then completion, zero-lost
+// verification, and bit-identity sampling.
+func TestScenarioWithDrainRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	cfg := serve.Config{
+		DataDir:         dir,
+		MaxRunning:      2,
+		Machines:        2,
+		SliceIterations: 3,
+		DrainTimeout:    20 * time.Second,
+		// Burst covers one well-behaved tenant's share (~9 jobs); the
+		// unpaced hog must blow through it and shed.
+		Admission: serve.AdmissionConfig{
+			TenantRate:  5,
+			TenantBurst: 12,
+		},
+	}
+	start := func() (*serve.Server, *httptest.Server) {
+		s, err := serve.New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return s, httptest.NewServer(s.Handler())
+	}
+
+	sc := Scenario{
+		Seed:          7,
+		Tenants:       3,
+		SmallJobs:     24,
+		GiantJobs:     1,
+		OverQuota:     true,
+		EvictInterval: 10 * time.Millisecond,
+		Machines:      2,
+		VerifySample:  4,
+	}
+	runner := New(sc, t.Logf)
+
+	s1, hs1 := start()
+	if err := runner.UploadTensors(hs1.URL); err != nil {
+		t.Fatalf("UploadTensors: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := runner.SubmitAll(ctx, hs1.URL); err != nil {
+		t.Fatalf("SubmitAll: %v", err)
+	}
+	s1.Drain()
+	hs1.Close()
+
+	s2, hs2 := start()
+	defer func() { s2.Drain(); hs2.Close() }()
+	if err := runner.AwaitCompletion(ctx, hs2.URL); err != nil {
+		t.Fatalf("AwaitCompletion: %v", err)
+	}
+	verified, mismatches, err := runner.Verify(hs2.URL)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	rep := runner.Report(verified, mismatches)
+	t.Logf("report:\n%s", rep.Markdown())
+	if rep.Lost != 0 {
+		t.Fatalf("lost jobs = %d, want 0", rep.Lost)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("failed jobs = %d, want 0", rep.Failed)
+	}
+	if mismatches != 0 {
+		t.Fatalf("bit-identity mismatches = %d", mismatches)
+	}
+	if verified == 0 {
+		t.Fatal("no jobs verified")
+	}
+	// The hog must have been shed at least once; well-behaved tenants
+	// should complete everything they submitted.
+	hog := rep.Tenants["hog"]
+	if hog == nil || hog.Shed == 0 {
+		t.Fatalf("hog stats = %+v, want sheds", hog)
+	}
+	if rep.Jain < 0.5 {
+		t.Fatalf("Jain fairness = %.3f, implausibly unfair", rep.Jain)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := jain([]float64{5, 5, 5}); got < 0.999 {
+		t.Fatalf("equal shares: jain = %v", got)
+	}
+	if got := jain([]float64{9, 0, 0}); got > 0.34 {
+		t.Fatalf("one-tenant monopoly: jain = %v", got)
+	}
+	if got := jain(nil); got != 1 {
+		t.Fatalf("empty: jain = %v", got)
+	}
+}

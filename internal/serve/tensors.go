@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"dbtf/internal/tensor"
+)
+
+// ErrTensorExists reports an upload under an ID that is already taken;
+// tensors are immutable once named so queued jobs can never race an
+// overwrite.
+var ErrTensorExists = errors.New("serve: tensor id already exists")
+
+// ErrTensorNotFound reports a job spec naming an unknown tensor.
+var ErrTensorNotFound = errors.New("serve: tensor not found")
+
+const tensorsDirName = "tensors"
+
+// tensorStore keeps uploaded tensors: durably on disk (crash-safe
+// temp+fsync+rename) and cached in memory for the engine. Entries are
+// immutable after Put.
+type tensorStore struct {
+	dir string
+
+	mu      sync.Mutex
+	entries map[string]*tensorEntry
+}
+
+type tensorEntry struct {
+	nnz   int
+	dims  [3]int
+	bytes int64 // admission memory estimate
+
+	// loaded is the cached in-memory tensor; nil until first use after
+	// a restart. Guarded by the store's mutex.
+	loaded *tensor.Tensor
+}
+
+// estimateTensorBytes is the admission-budget estimate for holding the
+// tensor plus per-job working state: the coordinate slice (3 ints per
+// nonzero) doubled for the unfolded views, plus a fixed overhead.
+func estimateTensorBytes(nnz int) int64 {
+	return int64(nnz)*48 + 4096
+}
+
+func openTensorStore(dataDir string) (*tensorStore, error) {
+	dir := filepath.Join(dataDir, tensorsDirName)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &tensorStore{dir: dir, entries: map[string]*tensorEntry{}}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range files {
+		name := f.Name()
+		if !strings.HasSuffix(name, ".dbt") {
+			continue // crash-orphaned temp file; the rename never happened
+		}
+		id := strings.TrimSuffix(name, ".dbt")
+		t, err := tensor.ReadBinaryFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("serve: corrupt stored tensor %s: %w", name, err)
+		}
+		i, j, k := t.Dims()
+		s.entries[id] = &tensorEntry{
+			nnz: t.NNZ(), dims: [3]int{i, j, k},
+			bytes: estimateTensorBytes(t.NNZ()), loaded: t,
+		}
+	}
+	return s, nil
+}
+
+func (s *tensorStore) path(id string) string {
+	return filepath.Join(s.dir, id+".dbt")
+}
+
+// Put stores a new tensor under id, durably and atomically.
+func (s *tensorStore) Put(id string, t *tensor.Tensor) error {
+	s.mu.Lock()
+	if _, ok := s.entries[id]; ok {
+		s.mu.Unlock()
+		return ErrTensorExists
+	}
+	// Reserve the ID while writing so concurrent uploads cannot race.
+	i, j, k := t.Dims()
+	entry := &tensorEntry{nnz: t.NNZ(), dims: [3]int{i, j, k},
+		bytes: estimateTensorBytes(t.NNZ()), loaded: t}
+	s.entries[id] = entry
+	s.mu.Unlock()
+
+	if err := s.writeDurably(id, t); err != nil {
+		s.mu.Lock()
+		delete(s.entries, id)
+		s.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// writeDurably persists the tensor with the checkpoint writer's
+// discipline: temp file, fsync, rename, directory fsync.
+func (s *tensorStore) writeDurably(id string, t *tensor.Tensor) error {
+	tmp, err := os.CreateTemp(s.dir, "tensor-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		//dbtf:allow-unchecked cleanup of a temp file that may already be renamed away
+		os.Remove(tmp.Name())
+	}()
+	if err := t.WriteBinary(tmp); err != nil {
+		//dbtf:allow-unchecked write error is already being returned
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		//dbtf:allow-unchecked sync error is already being returned
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), s.path(id)); err != nil {
+		return err
+	}
+	df, err := os.Open(s.dir)
+	if err != nil {
+		return err
+	}
+	if err := df.Sync(); err != nil {
+		//dbtf:allow-unchecked close after a sync error that is already being returned
+		df.Close()
+		return err
+	}
+	return df.Close()
+}
+
+// Get returns the tensor for id, loading it from disk if a restart
+// dropped the cache.
+func (s *tensorStore) Get(id string) (*tensor.Tensor, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrTensorNotFound, id)
+	}
+	if e.loaded == nil {
+		t, err := tensor.ReadBinaryFile(s.path(id))
+		if err != nil {
+			return nil, err
+		}
+		e.loaded = t
+	}
+	return e.loaded, nil
+}
+
+// Info returns the admission estimate and shape for id.
+func (s *tensorStore) Info(id string) (bytes int64, nnz int, dims [3]int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[id]
+	if !ok {
+		return 0, 0, [3]int{}, fmt.Errorf("%w: %q", ErrTensorNotFound, id)
+	}
+	return e.bytes, e.nnz, e.dims, nil
+}
+
+// IDs returns the stored tensor IDs (unordered).
+func (s *tensorStore) IDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.entries))
+	for id := range s.entries {
+		ids = append(ids, id)
+	}
+	return ids
+}

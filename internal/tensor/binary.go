@@ -82,7 +82,14 @@ func ReadBinary(r io.Reader) (*Tensor, error) {
 	if nnz < 0 {
 		return nil, fmt.Errorf("tensor: negative nonzero count")
 	}
-	coords := make([]Coord, 0, nnz)
+	// The header's nonzero count is attacker-controlled: cap the initial
+	// allocation and let append grow it against actually-present entries,
+	// so a forged header cannot over-allocate.
+	prealloc := nnz
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20
+	}
+	coords := make([]Coord, 0, prealloc)
 	cur := 0
 	for n := 0; n < nnz; n++ {
 		di, err := read()

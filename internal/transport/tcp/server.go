@@ -15,63 +15,176 @@ import (
 // wedged coordinator cannot pin a worker in a blocked write forever.
 const writeTimeout = time.Minute
 
-// Serve runs the executor side of the protocol on lis, pumping frames
-// into host, until the listener is closed. Each connection is a
-// sequential request/response stream served on its own goroutine; the
-// coordinator holds one connection per worker, so concurrency only
-// arises across a redial racing a dying connection, and the host's own
-// lock serializes those. Closing the listener closes every active
-// connection before Serve returns. logf, when non-nil, receives one line
-// per connection transition.
-func Serve(lis net.Listener, host transport.Host, logf func(format string, args ...any)) error {
+// Server runs the executor side of the protocol: it pumps frames from
+// coordinator connections into a transport.Host and supports a graceful
+// drain (Shutdown) that finishes in-flight stage batches instead of
+// dying mid-batch.
+type Server struct {
+	host transport.Host
+	logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	lis      net.Listener
+	conns    map[net.Conn]*connState //dbtf:guardedby mu
+	draining bool                    //dbtf:guardedby mu
+	wg       sync.WaitGroup
+}
+
+// connState tracks one connection's drain-relevant state.
+type connState struct {
+	busy bool // a request frame is being processed; guarded by Server.mu
+}
+
+// NewServer returns a Server executing stage work on host. logf, when
+// non-nil, receives one line per connection transition.
+func NewServer(host transport.Host, logf func(format string, args ...any)) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	var (
-		wg    sync.WaitGroup
-		mu    sync.Mutex
-		conns = map[net.Conn]struct{}{}
-	)
+	return &Server{host: host, logf: logf, conns: map[net.Conn]*connState{}}
+}
+
+// Serve accepts coordinator connections on lis until the listener is
+// closed. Each connection is a sequential request/response stream served
+// on its own goroutine; the coordinator holds one connection per worker,
+// so concurrency only arises across a redial racing a dying connection,
+// and the host's own lock serializes those. Closing the listener directly
+// (without Shutdown) closes every active connection before Serve returns;
+// after Shutdown, Serve returns nil as soon as the accept loop unblocks
+// and Shutdown owns the remaining connections.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("tcp: Serve on a draining server")
+	}
+	s.lis = lis
+	s.mu.Unlock()
 	for {
 		conn, err := lis.Accept()
 		if err != nil {
-			mu.Lock()
-			for c := range conns {
-				// The readers notice the close; their errors are theirs.
-				_ = c.Close()
+			s.mu.Lock()
+			draining := s.draining
+			if !draining {
+				for c := range s.conns {
+					// The readers notice the close; their errors are theirs.
+					_ = c.Close()
+				}
 			}
-			mu.Unlock()
-			wg.Wait()
+			s.mu.Unlock()
+			if !draining {
+				s.wg.Wait()
+			}
 			if errors.Is(err, net.ErrClosed) {
 				return nil
 			}
 			return fmt.Errorf("tcp: accept: %w", err)
 		}
-		mu.Lock()
-		conns[conn] = struct{}{}
-		mu.Unlock()
-		wg.Add(1)
-		go func(conn net.Conn) {
-			defer wg.Done()
-			logf("coordinator connected from %s", conn.RemoteAddr())
-			err := serveConn(conn, host)
-			mu.Lock()
-			delete(conns, conn)
-			mu.Unlock()
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			// Best effort: the drain already refused the connection.
+			_ = conn.Close()
+			continue
+		}
+		st := &connState{}
+		s.conns[conn] = st
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func(conn net.Conn, st *connState) {
+			defer s.wg.Done()
+			s.logf("coordinator connected from %s", conn.RemoteAddr())
+			err := s.serveConn(conn, st)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
 			if err != nil {
-				logf("connection from %s ended: %v", conn.RemoteAddr(), err)
+				s.logf("connection from %s ended: %v", conn.RemoteAddr(), err)
 			} else {
-				logf("connection from %s closed", conn.RemoteAddr())
+				s.logf("connection from %s closed", conn.RemoteAddr())
 			}
-		}(conn)
+		}(conn, st)
 	}
+}
+
+// Shutdown drains the server: stop accepting, close idle connections,
+// let connections that are mid-request finish the current reply, and
+// wait for them up to drainTimeout before force-closing the stragglers
+// and returning. It returns the listener-close error, if any. Safe to
+// call once.
+func (s *Server) Shutdown(drainTimeout time.Duration) error {
+	s.mu.Lock()
+	s.draining = true
+	lis := s.lis
+	for c, st := range s.conns {
+		if !st.busy {
+			// Unblocks the connection's read; serveConn maps the resulting
+			// ErrClosed to a clean exit while draining.
+			_ = c.Close()
+		}
+	}
+	s.mu.Unlock()
+
+	var lerr error
+	if lis != nil {
+		if err := lis.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			lerr = err
+		}
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	if drainTimeout > 0 {
+		timer := time.NewTimer(drainTimeout)
+		defer timer.Stop()
+		select {
+		case <-done:
+			return lerr
+		case <-timer.C:
+		}
+	}
+	// Drain timeout expired (or none given): force-close whatever is left
+	// and return without waiting — the caller is exiting, and a host call
+	// that outlived the drain budget cannot be waited on in bounded time.
+	s.mu.Lock()
+	for c := range s.conns {
+		// The blocked reader/writer notices the close.
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	return lerr
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+func (s *Server) setBusy(st *connState, busy bool) {
+	s.mu.Lock()
+	st.busy = busy
+	s.mu.Unlock()
+}
+
+// Serve runs the executor side of the protocol on lis, pumping frames
+// into host, until the listener is closed. It is NewServer(host,
+// logf).Serve(lis) for callers that do not need graceful drain.
+func Serve(lis net.Listener, host transport.Host, logf func(format string, args ...any)) error {
+	return NewServer(host, logf).Serve(lis)
 }
 
 // serveConn handshakes and then answers requests until the connection
 // drops. Every request produces exactly one reply frame, in order; this
 // strict alternation is what lets the coordinator treat a batch reply as
-// all-or-nothing when it reroutes work after a loss.
-func serveConn(conn net.Conn, host transport.Host) error {
+// all-or-nothing when it reroutes work after a loss. While a request is
+// being processed the connection is marked busy so Shutdown will not
+// close it under the handler; after the reply, a draining server closes
+// the connection instead of reading the next request.
+func (s *Server) serveConn(conn net.Conn, st *connState) error {
 	defer func() {
 		// Either the peer is gone or we already have a more precise error.
 		_ = conn.Close()
@@ -85,6 +198,9 @@ func serveConn(conn net.Conn, host transport.Host) error {
 	}
 	hello, _, err := transport.ReadFrame(conn, transport.DefaultMaxFrame)
 	if err != nil {
+		if s.isDraining() && errors.Is(err, net.ErrClosed) {
+			return nil
+		}
 		return fmt.Errorf("reading hello: %w", err)
 	}
 	if hello.Type != transport.MsgHello || hello.Proto != transport.ProtoVersion {
@@ -102,25 +218,35 @@ func serveConn(conn net.Conn, host transport.Host) error {
 			if errors.Is(err, io.EOF) {
 				return nil
 			}
+			if s.isDraining() && errors.Is(err, net.ErrClosed) {
+				return nil
+			}
 			return err
 		}
+		s.setBusy(st, true)
 		var resp *transport.Msg
 		switch req.Type {
 		case transport.MsgPing:
 			resp = &transport.Msg{Type: transport.MsgPong}
 		case transport.MsgState:
-			if err := host.Apply(req.State, req.Payload); err != nil {
+			if err := s.host.Apply(req.State, req.Payload); err != nil {
 				resp = &transport.Msg{Type: transport.MsgError, Error: err.Error()}
 			} else {
 				resp = &transport.Msg{Type: transport.MsgAck}
 			}
 		case transport.MsgRun:
-			resp = runBatch(host, req)
+			resp = runBatch(s.host, req)
 		default:
 			resp = &transport.Msg{Type: transport.MsgError, Error: fmt.Sprintf("unexpected message type %d", req.Type)}
 		}
-		if err := reply(resp); err != nil {
+		err = reply(resp)
+		s.setBusy(st, false)
+		if err != nil {
 			return err
+		}
+		if s.isDraining() {
+			// Batch answered; now it is safe to go.
+			return nil
 		}
 	}
 }

@@ -104,6 +104,15 @@ type Coordinator struct {
 // All-or-nothing: if any worker is unreachable the whole dial fails, so a
 // run never silently starts degraded.
 func Dial(cfg Config) (*Coordinator, error) {
+	return DialContext(context.Background(), cfg)
+}
+
+// DialContext is Dial with a caller-supplied context covering the whole
+// connect phase — both the TCP connects and the protocol handshakes.
+// Cancelling ctx aborts a dial that would otherwise stall until
+// CallTimeout on a worker that accepts the connection but never answers
+// the handshake.
+func DialContext(ctx context.Context, cfg Config) (*Coordinator, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Addrs) == 0 {
 		return nil, errors.New("tcp: no worker addresses")
@@ -113,7 +122,7 @@ func Dial(cfg Config) (*Coordinator, error) {
 		c.workers = append(c.workers, &worker{addr: addr})
 	}
 	for m, w := range c.workers {
-		if err := c.dialWorker(m, w); err != nil {
+		if err := c.dialWorker(ctx, m, w); err != nil {
 			if cerr := c.Close(); cerr != nil {
 				return nil, fmt.Errorf("%w (and closing dialed workers: %v)", err, cerr)
 			}
@@ -124,8 +133,11 @@ func Dial(cfg Config) (*Coordinator, error) {
 }
 
 // dialWorker connects and handshakes machine m. Caller must not hold w.mu.
-func (c *Coordinator) dialWorker(m int, w *worker) error {
-	conn, err := net.DialTimeout("tcp", w.addr, c.cfg.DialTimeout)
+// ctx bounds both the connect and the handshake exchange; the redial path
+// passes the stage-boundary ctx so a recovering run stays cancellable.
+func (c *Coordinator) dialWorker(ctx context.Context, m int, w *worker) error {
+	d := net.Dialer{Timeout: c.cfg.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", w.addr)
 	if err != nil {
 		return fmt.Errorf("tcp: dial worker %d (%s): %w", m, w.addr, err)
 	}
@@ -135,8 +147,27 @@ func (c *Coordinator) dialWorker(m int, w *worker) error {
 		Machine:  m,
 		Machines: len(c.workers),
 	}
+	// The handshake I/O only observes deadlines, not ctx; a watcher closes
+	// the connection on cancellation to unblock the exchange immediately.
+	stop := make(chan struct{})
+	watched := make(chan struct{})
+	go func() {
+		defer close(watched)
+		select {
+		case <-ctx.Done():
+			// Abandoning the handshake; the close error adds nothing.
+			_ = conn.Close()
+		case <-stop:
+		}
+	}()
 	resp, err := c.exchange(conn, hello)
+	close(stop)
+	<-watched
 	if err != nil {
+		if ctx.Err() != nil {
+			// The watcher already closed the connection.
+			return fmt.Errorf("tcp: handshake with worker %d (%s): %w", m, w.addr, ctx.Err())
+		}
 		if cerr := conn.Close(); cerr != nil {
 			err = fmt.Errorf("%w (and closing: %v)", err, cerr)
 		}
@@ -266,7 +297,7 @@ func (c *Coordinator) Membership(ctx context.Context) []transport.LivenessEvent 
 		w.mu.Lock()
 		w.lastDial = time.Now()
 		w.mu.Unlock()
-		if err := c.dialWorker(m, w); err != nil {
+		if err := c.dialWorker(ctx, m, w); err != nil {
 			continue // still down; try again next boundary
 		}
 		if err := c.replay(m); err != nil {

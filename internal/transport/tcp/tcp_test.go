@@ -321,6 +321,51 @@ func TestDialFailsWhenAnyWorkerUnreachable(t *testing.T) {
 	}
 }
 
+func TestDialContextCancelUnblocksHungHandshake(t *testing.T) {
+	// A listener that never calls Accept: the kernel completes the TCP
+	// handshake from its backlog, so DialContext gets past the connect and
+	// blocks reading the hello reply. Only ctx cancellation can unblock it
+	// before CallTimeout (set to an hour here so a regression hangs the
+	// deadline, not flakes past it).
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := lis.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	cfg := testConfig(lis.Addr().String())
+	cfg.CallTimeout = time.Hour
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = DialContext(ctx, cfg)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("DialContext = %v, want context.Canceled", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("DialContext took %v to honor cancellation", elapsed)
+	}
+}
+
+func TestDialContextCancelDuringConnect(t *testing.T) {
+	// Already-cancelled context: the connect itself must fail immediately,
+	// even against a healthy worker.
+	addr, _ := startWorker(t, newEchoHost())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DialContext(ctx, testConfig(addr)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("DialContext = %v, want context.Canceled", err)
+	}
+}
+
 func TestServeRejectsBadHandshake(t *testing.T) {
 	addr, _ := startWorker(t, newEchoHost())
 	conn, err := net.Dial("tcp", addr)

@@ -1,0 +1,112 @@
+package dbtf_test
+
+import (
+	"bufio"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"dbtf/internal/transport"
+)
+
+// TestWorkerSIGTERMGracefulExit sends a real SIGTERM to a dbtf-worker OS
+// process with a handshaked coordinator connection open and asserts the
+// graceful-drain contract: the worker announces the drain, closes the
+// idle connection, and exits 0 instead of dying on the signal.
+func TestWorkerSIGTERMGracefulExit(t *testing.T) {
+	cmd := exec.Command(workerBinary(t), "-listen", "127.0.0.1:0", "-q", "-drain", "5s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	reaped := false
+	t.Cleanup(func() {
+		if !reaped {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	})
+
+	lines := make(chan string, 16)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	readLine := func(what string) string {
+		t.Helper()
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("worker stdout closed while waiting for %s", what)
+			}
+			return line
+		case <-time.After(10 * time.Second):
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		return ""
+	}
+
+	const addrPrefix = "dbtf-worker listening on "
+	addrLine := readLine("the address line")
+	if !strings.HasPrefix(addrLine, addrPrefix) {
+		t.Fatalf("worker printed %q, want %q address line", addrLine, addrPrefix)
+	}
+	addr := strings.TrimPrefix(addrLine, addrPrefix)
+
+	// A handshaked but idle coordinator connection, as a real run between
+	// stages would hold.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	hello := &transport.Msg{Type: transport.MsgHello, Proto: transport.ProtoVersion, Machine: 0, Machines: 1}
+	if _, err := transport.WriteFrame(conn, hello); err != nil {
+		t.Fatal(err)
+	}
+	resp, _, err := transport.ReadFrame(conn, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != transport.MsgHelloOK {
+		t.Fatalf("handshake reply type %d, want hello-ok", resp.Type)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if line := readLine("the drain announcement"); !strings.Contains(line, "draining") {
+		t.Fatalf("worker printed %q after SIGTERM, want a draining line", line)
+	}
+
+	waitDone := make(chan error, 1)
+	go func() { waitDone <- cmd.Wait() }()
+	select {
+	case err := <-waitDone:
+		reaped = true
+		if err != nil {
+			t.Fatalf("worker exited with %v after SIGTERM, want exit 0", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("worker did not exit within 15s of SIGTERM")
+	}
+
+	// The drain closed the idle connection from the server side.
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := transport.ReadFrame(conn, 0); err == nil {
+		t.Fatal("connection still delivering frames after the worker drained")
+	}
+}
