@@ -185,6 +185,7 @@ func runLoadTest(cfg serve.Config, sc loadgen.Scenario) error {
 			return nil, nil, "", err
 		}
 		hs := &http.Server{Handler: s.Handler()}
+		//dbtf:detached joined semantically by hs.Shutdown in stop(), which unblocks Serve
 		go func() {
 			//dbtf:allow-unchecked Serve always returns ErrServerClosed after Shutdown
 			hs.Serve(lis)

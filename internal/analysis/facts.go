@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// This file is the suite's facts mechanism: the currency through which
+// per-package analysis composes into whole-program checks. It mirrors the
+// fact half of golang.org/x/tools/go/analysis — analyzers export typed
+// facts while walking one package, a driver aggregates them, and a second
+// phase sees every package's facts at once — close enough that a rebase
+// onto the real framework would turn ExportPackageFact into the x/tools
+// method of the same name and CrossPackage into a fact-consuming analyzer
+// that depends on the exporters.
+//
+// The deliberate deviation: x/tools feeds facts along the import graph
+// (an analyzer sees only its dependencies' facts), while this driver runs
+// a separate cross-package phase over the facts of *every* analyzed
+// package. The suite's whole-program checks — lock-order cycles, "is this
+// WaitGroup ever waited on", "does every decode entry point stay inside
+// the audited set" — are global properties with no useful import-order
+// factoring, and the module is small enough that global aggregation is
+// cheap.
+
+// A Fact is a typed datum one package's analysis exports for the
+// cross-package phase. The marker method mirrors x/tools; fact types are
+// declared next to the analyzer that exports them and listed in its
+// FactTypes.
+type Fact interface {
+	AFact()
+}
+
+// A PackageFact pairs an exported fact with the module-relative path of
+// the package that exported it.
+type PackageFact struct {
+	Path string
+	Fact Fact
+}
+
+// ExportPackageFact records a fact against the pass's package for the
+// analyzer's cross-package phase.
+func (p *Pass) ExportPackageFact(f Fact) {
+	if p.facts == nil {
+		panic("analysis: ExportPackageFact outside a suite run")
+	}
+	*p.facts = append(*p.facts, PackageFact{Path: p.Path, Fact: f})
+}
+
+// A CrossPass hands an analyzer's cross-package phase the facts every
+// analyzed package exported, plus a reporter. Positions inside facts are
+// token.Pos values from the shared FileSet of the load, so diagnostics
+// anchor to real source lines.
+type CrossPass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Facts are the analyzer's exported facts across all analyzed
+	// packages, in package-path order.
+	Facts []PackageFact
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a cross-package diagnostic at pos.
+func (cp *CrossPass) Reportf(pos token.Pos, format string, args ...any) {
+	*cp.diags = append(*cp.diags, Diagnostic{
+		Pos:      cp.Fset.Position(pos),
+		Analyzer: cp.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// PackageHasFacts reports whether the package at path exported any fact
+// during the local phase — i.e. whether the analyzer ran there at all.
+// Analyzers that must reason about coverage (wirebound's decode-closure
+// check) use this to distinguish "analyzed and clean" from "never
+// looked".
+func (cp *CrossPass) PackageHasFacts(path string) bool {
+	for _, pf := range cp.Facts {
+		if pf.Path == path {
+			return true
+		}
+	}
+	return false
+}
+
+// RunSuite executes the full two-phase protocol over the loaded packages:
+// every analyzer's local Run over each package its Scope admits
+// (collecting diagnostics and facts), then each analyzer's CrossPackage
+// phase over the aggregated facts. Diagnostics come back sorted by
+// position.
+func RunSuite(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	var fset *token.FileSet
+	factsByAnalyzer := map[string][]PackageFact{}
+	for _, a := range analyzers {
+		for _, pkg := range pkgs {
+			if !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			fset = pkg.Fset
+			d, facts, err := runLocal(a, pkg)
+			if err != nil {
+				return nil, err
+			}
+			diags = append(diags, d...)
+			factsByAnalyzer[a.Name] = append(factsByAnalyzer[a.Name], facts...)
+		}
+	}
+	for _, a := range analyzers {
+		if a.CrossPackage == nil {
+			continue
+		}
+		cp := &CrossPass{
+			Analyzer: a,
+			Fset:     fset,
+			Facts:    factsByAnalyzer[a.Name],
+			diags:    &diags,
+		}
+		if err := a.CrossPackage(cp); err != nil {
+			return nil, fmt.Errorf("analysis: %s cross-package phase: %w", a.Name, err)
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// runLocal executes one analyzer's local phase over one package.
+func runLocal(a *Analyzer, pkg *Package) ([]Diagnostic, []PackageFact, error) {
+	var diags []Diagnostic
+	var facts []PackageFact
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Path:     pkg.Path,
+		diags:    &diags,
+		facts:    &facts,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+	}
+	return diags, facts, nil
+}

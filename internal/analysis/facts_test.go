@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// These tests exercise the part of the facts mechanism the single-package
+// fixtures cannot: a finding whose evidence lives in one package and
+// whose resolution lives in another, visible only to RunSuite's
+// cross-package phase.
+
+// loadAs loads one fixture directory as a package with a chosen
+// module-relative path, so Scope and fact aggregation see realistic
+// paths.
+func loadAs(t *testing.T, fset *token.FileSet, dir, path string) *Package {
+	t.Helper()
+	pkg, err := loadDir(fset, dir, dir, true)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if pkg == nil {
+		t.Fatalf("fixture %s holds no Go files", dir)
+	}
+	pkg.Path = path
+	return pkg
+}
+
+func TestGoLeakCrossPackageWait(t *testing.T) {
+	fset := token.NewFileSet()
+	launcher := loadAs(t, fset, filepath.Join("testdata", "src", "crossgoleak", "launcher"), "internal/launcher")
+	waiter := loadAs(t, fset, filepath.Join("testdata", "src", "crossgoleak", "waiter"), "internal/waiter")
+
+	// With the waiting package present, the Add/Done pairing resolves.
+	diags, err := RunSuite([]*Analyzer{GoLeak}, []*Package{launcher, waiter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic with waiter present: %s", d)
+	}
+
+	// Without it, no package ever Waits and the cross phase reports the
+	// orphaned group at its Add site.
+	diags, err = RunSuite([]*Analyzer{GoLeak}, []*Package{launcher})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "no Wait anywhere") {
+		t.Fatalf("want exactly one no-Wait diagnostic, got %v", diags)
+	}
+}
+
+func TestWireBoundCrossPackageAudit(t *testing.T) {
+	fset := token.NewFileSet()
+	caller := loadAs(t, fset, filepath.Join("testdata", "src", "crosswire", "caller"), "internal/serve")
+	decoder := loadAs(t, fset, filepath.Join("testdata", "src", "crosswire", "decoder"), "internal/core")
+
+	// The callee package is inside wirebound's scope, so it carries an
+	// audited fact and the cross-package call is fine.
+	diags, err := RunSuite([]*Analyzer{WireBound}, []*Package{caller, decoder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic with decoder audited: %s", d)
+	}
+
+	// Drop the callee from the load (as if the decode entry point moved
+	// to an unscoped package) and the audit closure breaks.
+	diags, err = RunSuite([]*Analyzer{WireBound}, []*Package{caller})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "outside wirebound's audited packages") {
+		t.Fatalf("want exactly one audit-closure diagnostic, got %v", diags)
+	}
+}
+
+func TestLockOrderCrossPackageCycle(t *testing.T) {
+	fset := token.NewFileSet()
+	left := loadAs(t, fset, filepath.Join("testdata", "src", "crosslock", "left"), "internal/left")
+	right := loadAs(t, fset, filepath.Join("testdata", "src", "crosslock", "right"), "internal/right")
+
+	// Each package alone has a consistent order.
+	for _, pkg := range []*Package{left, right} {
+		diags, err := RunSuite([]*Analyzer{LockOrder}, []*Package{pkg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("unexpected diagnostic for %s alone: %s", pkg.Path, d)
+		}
+	}
+
+	// Together, left's held call into right's locker closes a cycle no
+	// per-package analysis can see.
+	diags, err := RunSuite([]*Analyzer{LockOrder}, []*Package{left, right})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "lock-order cycle") {
+		t.Fatalf("want exactly one cross-package cycle diagnostic, got %v", diags)
+	}
+}

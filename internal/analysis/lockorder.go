@@ -1,0 +1,361 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// LockOrder builds the repo-wide lock-acquisition graph and reports any
+// cycle: if one code path acquires A then B while another acquires B then
+// A, the two can deadlock, and no test is guaranteed to catch it.
+//
+// Lock identities come from the //dbtf:guardedby vocabulary: a lock is a
+// struct field acquired as x.<mu>.Lock()/RLock() where x is bound to a
+// struct declared in the package (guardedby's binding rules), identified
+// globally as <pkg>.<Struct>.<mu>. The local phase walks each function
+// body in statement order, tracking the held set — Lock adds, Unlock
+// removes, deferred Unlocks hold to function end — and exports facts:
+// direct held→acquired edges, plus the set of locks each function
+// acquires and the calls it makes while holding a lock. The cross phase
+// closes acquisition over the call graph (a call made holding A to a
+// function that eventually acquires B contributes A→B), then reports
+// every cycle once, anchored at an edge inside it.
+//
+// Approximations, documented so findings can be read with the right
+// trust: func literal bodies are skipped (they usually run on another
+// goroutine, where the launcher's held set does not apply); calls are
+// resolved by bare name within the analyzed packages (method sets are
+// not distinguished), which over-approximates the call graph — safe for
+// cycle *detection*, and the module's method names are distinct enough
+// in practice; held-set tracking is textual, not path-sensitive.
+// An acquisition annotated //dbtf:lockorder <reason> contributes no
+// edges — the escape hatch for a cycle that is provably benign (e.g.
+// ordered by a tryLock or a documented external protocol).
+var LockOrder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "detects lock-acquisition cycles across packages via guardedby lock identities",
+	Run:       runLockOrder,
+	FactTypes: []Fact{(*lockSummaryFact)(nil)},
+	CrossPackage: func(cp *CrossPass) error {
+		return crossLockOrder(cp)
+	},
+	Escape: lockorderName,
+}
+
+const lockorderName = "lockorder"
+
+// lockEdge is one direct held→acquired observation.
+type lockEdge struct {
+	From, To string
+	Pos      token.Pos
+}
+
+// heldCall is a call made while holding locks; the cross phase expands
+// the callee's transitive acquisitions into edges.
+type heldCall struct {
+	Held   []string
+	Callee string // bare function/method name
+	Pos    token.Pos
+}
+
+// lockSummaryFact is one function's contribution to the global graph.
+type lockSummaryFact struct {
+	Func     string // bare name, for callee resolution
+	Acquires []string
+	Edges    []lockEdge
+	Calls    []heldCall
+}
+
+func (*lockSummaryFact) AFact() {}
+
+func runLockOrder(pass *Pass) error {
+	structs := collectMutexStructs(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if sum := summarizeLocks(pass, structs, fn); sum != nil {
+				pass.exportIfSuite(sum)
+			}
+		}
+	}
+	return nil
+}
+
+// collectMutexStructs maps struct name → its full field-name set, so lock
+// identities can be formed for any x.field.Lock() on a bound receiver.
+func collectMutexStructs(pass *Pass) map[string]*guardedStruct {
+	structs := map[string]*guardedStruct{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			gs := &guardedStruct{fields: map[string]string{}, all: map[string]bool{}}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					gs.all[name.Name] = true
+				}
+			}
+			structs[ts.Name.Name] = gs
+			return true
+		})
+	}
+	return structs
+}
+
+// summarizeLocks walks one function body in source order, maintaining the
+// held lock set, and returns its summary fact (nil when the function
+// neither locks nor calls anything while locked).
+func summarizeLocks(pass *Pass, structs map[string]*guardedStruct, fn *ast.FuncDecl) *lockSummaryFact {
+	bindings := collectBindings(structs, fn)
+	sum := &lockSummaryFact{Func: fn.Name.Name}
+	var held []string
+	drop := func(id string) {
+		for i, h := range held {
+			if h == id {
+				held = append(held[:i], held[i+1:]...)
+				return
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			// Runs on its own goroutine more often than not; the
+			// launcher's held set does not transfer.
+			return false
+		case *ast.DeferStmt:
+			// A deferred Unlock releases at return, after everything this
+			// walk sees — so it never shrinks the held set.
+			return false
+		case *ast.CallExpr:
+			id, method, ok := lockIdentity(bindings, structs, pass.Path, m)
+			if ok {
+				switch {
+				case method == "Lock" || method == "RLock":
+					if pass.Allowed(m.Pos(), lockorderName) {
+						return false
+					}
+					for _, h := range held {
+						if h != id {
+							sum.Edges = append(sum.Edges, lockEdge{From: h, To: id, Pos: m.Pos()})
+						}
+					}
+					sum.Acquires = append(sum.Acquires, id)
+					held = append(held, id)
+				case isUnlockName(method):
+					drop(id)
+				}
+				return false
+			}
+			if len(held) > 0 {
+				if callee := calleeName(m); callee != "" {
+					sum.Calls = append(sum.Calls, heldCall{Held: append([]string(nil), held...), Callee: callee, Pos: m.Pos()})
+				}
+			}
+		}
+		return true
+	})
+	if len(sum.Acquires) == 0 && len(sum.Calls) == 0 {
+		return nil
+	}
+	return sum
+}
+
+func isUnlockName(m string) bool { return m == "Unlock" || m == "RUnlock" }
+
+// lockIdentity resolves a call x.<mu>.<M>() to a global lock identity
+// <pkg>.<Struct>.<mu> when x is bound to a package-local struct and M is
+// a mutex method name. ok is false for every other call.
+func lockIdentity(bindings map[string]string, structs map[string]*guardedStruct, pkg string, call *ast.CallExpr) (id, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	method = sel.Sel.Name
+	if method != "Lock" && method != "RLock" && !isUnlockName(method) {
+		return "", "", false
+	}
+	muSel, isSel := sel.X.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	recv, isIdent := muSel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	structName, bound := bindings[recv.Name]
+	if !bound || !structs[structName].all[muSel.Sel.Name] {
+		return "", "", false
+	}
+	return fmt.Sprintf("%s.%s.%s", pkg, structName, muSel.Sel.Name), method, true
+}
+
+// calleeName extracts a bare callee name for call-graph closure: f(...)
+// or x.f(...) both yield "f". Builtins and conversions yield "".
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch fun.Name {
+		case "make", "len", "cap", "append", "copy", "close", "delete", "new", "panic", "recover", "print", "println", "min", "max", "clear",
+			"int", "int8", "int16", "int32", "int64", "uint", "uint8", "uint16", "uint32", "uint64", "uintptr", "float32", "float64", "string", "byte", "rune", "bool", "error", "any":
+			return ""
+		}
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// crossLockOrder closes acquisition over the call graph, builds the
+// global edge set, and reports each lock cycle once.
+func crossLockOrder(cp *CrossPass) error {
+	// Group summaries by bare function name; multiple functions sharing a
+	// name merge, over-approximating the call graph (safe for detection).
+	acquires := map[string]map[string]bool{}
+	var sums []*lockSummaryFact
+	for _, pf := range cp.Facts {
+		sum, ok := pf.Fact.(*lockSummaryFact)
+		if !ok {
+			continue
+		}
+		sums = append(sums, sum)
+		set := acquires[sum.Func]
+		if set == nil {
+			set = map[string]bool{}
+			acquires[sum.Func] = set
+		}
+		for _, a := range sum.Acquires {
+			set[a] = true
+		}
+	}
+	// Fixpoint: fold each callee's acquisitions into its callers until
+	// nothing changes (the graph is small; O(n²) rounds are fine).
+	for changed := true; changed; {
+		changed = false
+		for _, sum := range sums {
+			set := acquires[sum.Func]
+			for _, call := range sum.Calls {
+				for a := range acquires[call.Callee] {
+					if !set[a] {
+						set[a] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	edges := map[string]map[string]token.Pos{}
+	addEdge := func(from, to string, pos token.Pos) {
+		if from == to {
+			return
+		}
+		if edges[from] == nil {
+			edges[from] = map[string]token.Pos{}
+		}
+		if _, ok := edges[from][to]; !ok {
+			edges[from][to] = pos
+		}
+	}
+	for _, sum := range sums {
+		for _, e := range sum.Edges {
+			addEdge(e.From, e.To, e.Pos)
+		}
+		for _, call := range sum.Calls {
+			for a := range acquires[call.Callee] {
+				for _, h := range call.Held {
+					addEdge(h, a, call.Pos)
+				}
+			}
+		}
+	}
+	reportLockCycles(cp, edges)
+	return nil
+}
+
+// reportLockCycles finds strongly-connected components with an internal
+// edge and reports one diagnostic per cycle, with the member locks named
+// in sorted order so output is deterministic.
+func reportLockCycles(cp *CrossPass, edges map[string]map[string]token.Pos) {
+	nodes := make([]string, 0, len(edges))
+	seen := map[string]bool{}
+	for from, tos := range edges {
+		if !seen[from] {
+			seen[from] = true
+			nodes = append(nodes, from)
+		}
+		for to := range tos {
+			if !seen[to] {
+				seen[to] = true
+				nodes = append(nodes, to)
+			}
+		}
+	}
+	sort.Strings(nodes)
+	// Tarjan would be idiomatic; with a handful of locks, reachability
+	// pairs are simpler and obviously correct: a cycle exists through
+	// (a, b), a < b, when a reaches b and b reaches a.
+	reaches := func(from, to string) bool {
+		stack := []string{from}
+		visited := map[string]bool{}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if visited[n] {
+				continue
+			}
+			visited[n] = true
+			for next := range edges[n] {
+				if next == to {
+					return true
+				}
+				stack = append(stack, next)
+			}
+		}
+		return false
+	}
+	reported := map[string]bool{}
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if a >= b || !reaches(a, b) || !reaches(b, a) {
+				continue
+			}
+			key := a + "↔" + b
+			if reported[key] {
+				continue
+			}
+			reported[key] = true
+			pos := edges[a][b]
+			if pos == token.NoPos {
+				for _, to := range sortedKeys(edges[a]) {
+					if p := edges[a][to]; p != token.NoPos {
+						pos = p
+						break
+					}
+				}
+			}
+			cp.Reportf(pos, "lock-order cycle: %s and %s are each acquired while the other is held (deadlock risk); pick one order or annotate the benign acquisition with %s%s <reason>",
+				a, b, DirectivePrefix, lockorderName)
+		}
+	}
+}
+
+func sortedKeys(m map[string]token.Pos) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -5,7 +5,8 @@ import (
 	"testing"
 )
 
-// TestRepoClean runs every registered analyzer over the entire module and
+// TestRepoClean runs the full two-phase suite — all eight analyzers,
+// including the cross-package facts phase — over the entire module and
 // asserts zero diagnostics. This is the in-process equivalent of
 // `go run ./cmd/dbtfvet ./...` exiting 0, so a change that introduces a
 // finding (or breaks an annotation) fails `go test ./...` directly rather
@@ -26,18 +27,11 @@ func TestRepoClean(t *testing.T) {
 	if len(pkgs) == 0 {
 		t.Fatal("no packages loaded from module root")
 	}
-	for _, a := range Analyzers() {
-		for _, pkg := range pkgs {
-			if !a.AppliesTo(pkg.Path) {
-				continue
-			}
-			diags, err := Run(a, pkg)
-			if err != nil {
-				t.Fatalf("%s on %s: %v", a.Name, pkg.Path, err)
-			}
-			for _, d := range diags {
-				t.Errorf("%s", d)
-			}
-		}
+	diags, err := RunSuite(Analyzers(), pkgs)
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
 	}
 }

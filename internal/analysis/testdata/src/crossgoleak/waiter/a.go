@@ -1,0 +1,11 @@
+// Package waiter holds the join for launcher's goroutines. The file
+// parses but is never compiled.
+package waiter
+
+import "sync"
+
+type Pool struct{ tasks sync.WaitGroup }
+
+func Drain(p *Pool) {
+	p.tasks.Wait()
+}

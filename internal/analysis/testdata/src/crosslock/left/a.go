@@ -1,0 +1,18 @@
+// Package left acquires its registry lock and, still holding it, calls
+// into right — one half of a cycle neither package shows alone. The file
+// parses but is never compiled.
+package left
+
+import (
+	"sync"
+
+	right "dbtf/internal/right"
+)
+
+type Registry struct{ mu sync.Mutex }
+
+func (r *Registry) Update() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	right.Publish()
+}

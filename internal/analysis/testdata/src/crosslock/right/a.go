@@ -1,0 +1,22 @@
+// Package right acquires its board lock, and one path calls back into
+// left's locked Update — the other half of the cross-package cycle. The
+// file parses but is never compiled.
+package right
+
+import "sync"
+
+type Board struct{ mu sync.Mutex }
+
+func Publish() {
+	var b Board
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+
+type updater interface{ Update() }
+
+func Refresh(b *Board, r updater) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r.Update()
+}

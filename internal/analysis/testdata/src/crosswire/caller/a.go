@@ -1,0 +1,11 @@
+// Package caller invokes a decode entry point in another module-internal
+// package; whether that package was audited is a cross-package question.
+// The file parses but is never compiled.
+package caller
+
+import core "dbtf/internal/core"
+
+func Parse(b []byte) error {
+	_, err := core.DecodeHeader(b)
+	return err
+}

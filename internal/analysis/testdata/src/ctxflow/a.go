@@ -1,0 +1,111 @@
+// Package fixtures seeds the ctxflow analyzer's true positives and
+// accepted negatives. The file parses but is never compiled.
+package fixtures
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+// badBareReceive blocks on a channel with no cancellation path.
+func badBareReceive(ctx context.Context, ch chan int) int {
+	return <-ch // want `bare channel receive`
+}
+
+// badBareSend blocks on a send with no cancellation path.
+func badBareSend(ctx context.Context, ch chan int) {
+	ch <- 1 // want `bare channel send`
+}
+
+// badReceiveStmt blocks as a statement.
+func badReceiveStmt(ctx context.Context, done chan struct{}) {
+	<-done // want `bare channel receive`
+}
+
+// badSleep ignores cancellation for the whole sleep.
+func badSleep(ctx context.Context) {
+	time.Sleep(time.Second) // want `time.Sleep`
+}
+
+// badDial dials without the ctx-aware dialer.
+func badDial(ctx context.Context, addr string) {
+	net.Dial("tcp", addr) // want `ctx-aware dialer`
+}
+
+// badDeafSelect has no default and no Done case: every arm can block
+// past cancellation.
+func badDeafSelect(ctx context.Context, a, b chan int) {
+	select { // want `no <-ctx.Done\(\) case and no default`
+	case <-a:
+	case <-b:
+	}
+}
+
+// goodSelectDone observes cancellation.
+func goodSelectDone(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// goodDerivedCtx selects on a derived context's Done.
+func goodDerivedCtx(ctx context.Context, ch chan int) {
+	dctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	select {
+	case <-ch:
+	case <-dctx.Done():
+	}
+}
+
+// goodNonBlockingSelect cannot block: it has a default arm.
+func goodNonBlockingSelect(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// goodNoCtx makes no cancellation promise; bare receives are its
+// caller's problem.
+func goodNoCtx(ch chan int) int {
+	return <-ch
+}
+
+// goodGoroutineExcluded launches a goroutine whose blocking does not
+// block this cancellable caller (goleak owns its lifetime).
+func goodGoroutineExcluded(ctx context.Context, ch chan int) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ch
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+}
+
+// badNestedCtxLit is a closure that makes its own context promise and
+// breaks it.
+func badNestedCtxLit(ch chan int) func(context.Context) {
+	return func(ctx context.Context) {
+		<-ch // want `bare channel receive`
+	}
+}
+
+// goodAnnotated documents why the receive is safe.
+func goodAnnotated(ctx context.Context, joined chan struct{}) {
+	//dbtf:blocking joined goroutine selects on ctx and exits promptly
+	<-joined
+}
+
+// badBareEscape has the escape hatch without a reason.
+func badBareEscape(ctx context.Context, joined chan struct{}) {
+	//dbtf:blocking
+	<-joined // want `requires a reason`
+}

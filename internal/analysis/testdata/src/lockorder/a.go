@@ -1,0 +1,103 @@
+// Package fixtures seeds the lockorder analyzer's true positives and
+// accepted negatives. The file parses but is never compiled.
+package fixtures
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+type G struct{ mu sync.Mutex }
+type H struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+type P struct{ mu sync.Mutex }
+type Q struct{ mu sync.Mutex }
+
+// badNestedAB and badNestedBA acquire the same two locks in opposite
+// orders — the classic deadlock pair.
+func badNestedAB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock-order cycle`
+	defer b.mu.Unlock()
+}
+
+func badNestedBA(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+}
+
+// badCallCycle acquires G then calls a helper that acquires H, while
+// badCallCycleRev nests them directly the other way: the cycle only
+// exists across the call graph, which the cross-package phase closes.
+func badCallCycle(g *G) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	lockH() // want `lock-order cycle`
+}
+
+func lockH() {
+	var h H
+	h.mu.Lock()
+	defer h.mu.Unlock()
+}
+
+func badCallCycleRev(g *G, h *H) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+}
+
+// goodConsistentOrder nests P before Q on every path: no cycle, no
+// finding.
+func goodConsistentOrder(p *P, q *Q) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+}
+
+func goodConsistentOrderAgain(p *P, q *Q) {
+	p.mu.Lock()
+	q.mu.Lock()
+	q.mu.Unlock()
+	p.mu.Unlock()
+}
+
+// goodSequentialNotNested releases the first lock before taking the
+// second; no edge, no cycle.
+func goodSequentialNotNested(a *A, q *Q) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	q.mu.Lock()
+	q.mu.Unlock()
+}
+
+// goodAnnotatedPair would cycle with goodAnnotatedPairRev, but the
+// reversed acquisition is vouched benign (say, a tryLock protocol) so it
+// contributes no edges.
+func goodAnnotatedPair(d *D, e *E) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+}
+
+func goodAnnotatedPairRev(d *D, e *E) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	//dbtf:lockorder acquisition guarded by a tryLock upstream; cannot deadlock
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}
+
+// badBareEscape has the escape hatch without a reason.
+func badBareEscape(f *F) {
+	//dbtf:lockorder
+	f.mu.Lock() // want `requires a reason`
+	defer f.mu.Unlock()
+}

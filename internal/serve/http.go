@@ -209,6 +209,15 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 			copyAvailable()
 			return
 		}
+		// A draining server evicts running jobs back to queued — never
+		// terminal — so a follower waiting for terminality would outlive
+		// Drain and pin http.Server.Shutdown past its deadline. End the
+		// tail with what has been written; the client re-follows after
+		// restart.
+		if s.Draining() {
+			copyAvailable()
+			return
+		}
 		select {
 		case <-r.Context().Done():
 			return

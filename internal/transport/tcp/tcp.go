@@ -162,7 +162,9 @@ func (c *Coordinator) dialWorker(ctx context.Context, m int, w *worker) error {
 	}()
 	resp, err := c.exchange(conn, hello)
 	close(stop)
-	<-watched
+	// The watcher exits as soon as stop closes (the line above), so this
+	// join is bounded by a select already watching ctx.
+	<-watched //dbtf:blocking watcher selects on ctx.Done/stop and stop just closed
 	if err != nil {
 		if ctx.Err() != nil {
 			// The watcher already closed the connection.
@@ -464,7 +466,17 @@ func (c *Coordinator) Run(ctx context.Context, spec transport.Spec, deliver func
 		var requeue []batch
 		var fatal error
 		for range queue {
-			o := <-results
+			var o batchOutcome
+			select {
+			case o = <-results:
+			case <-ctx.Done():
+				// Abandon the round: results is buffered to len(queue), so
+				// stragglers deposit their outcome and exit without a
+				// receiver, and each in-flight call is bounded by
+				// CallTimeout. Before this select a cancelled run sat in
+				// the bare receive until the slowest call timed out.
+				return ctx.Err()
+			}
 			switch {
 			case errors.Is(o.err, errDown):
 				requeue = append(requeue, o.b)
