@@ -11,13 +11,33 @@ import (
 // for defaults.
 type BCPALSOptions = bcpals.Options
 
+// BCPALSInit selects BCP_ALS's per-mode initialization; see the exported
+// constants.
+type BCPALSInit = bcpals.Init
+
+const (
+	// BCPALSInitTopFiber initializes each mode with the near-linear greedy
+	// top-fiber factorization (default).
+	BCPALSInitTopFiber BCPALSInit = bcpals.InitTopFiber
+	// BCPALSInitASSO initializes each mode with ASSO, materializing its
+	// quadratic column-association matrix — the faithful reproduction of
+	// the baseline's historical bottleneck, kept for ablations.
+	BCPALSInitASSO BCPALSInit = bcpals.InitASSO
+)
+
+// ParseBCPALSInit parses the flag spelling of a BCP_ALS initialization
+// ("topfiber", "asso"); the empty string selects the default.
+func ParseBCPALSInit(s string) (BCPALSInit, error) { return bcpals.ParseInit(s) }
+
 // BCPALSResult reports a BCP_ALS factorization.
 type BCPALSResult = bcpals.Result
 
 // FactorizeBCPALS runs the BCP_ALS baseline (Miettinen, ICDM 2011): a
-// single-machine alternating Boolean CP decomposition with an ASSO-based
-// initialization whose cost is quadratic in the columns of each unfolded
-// tensor. Provided for comparison; Factorize is strictly more scalable.
+// single-machine alternating Boolean CP decomposition. By default each
+// mode is initialized with the near-linear top-fiber factorization;
+// BCPALSInitASSO restores the historical ASSO initialization, whose cost
+// is quadratic in the columns of each unfolded tensor. Provided for
+// comparison; Factorize is strictly more scalable.
 func FactorizeBCPALS(ctx context.Context, x *Tensor, opt BCPALSOptions) (*BCPALSResult, error) {
 	return bcpals.Decompose(ctx, x, opt)
 }

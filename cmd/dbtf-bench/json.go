@@ -39,9 +39,9 @@ var factorizeBenches = []factorizeBench{
 	{"FactorizeDim128", 128, 0.02, 8},
 }
 
-func (fb factorizeBench) options(threads int) dbtf.Options {
+func (fb factorizeBench) options(threads int, init dbtf.InitScheme) dbtf.Options {
 	return dbtf.Options{Rank: fb.Rank, Machines: 4, MaxIter: 5, MinIter: 5, Seed: 1,
-		ThreadsPerMachine: threads}
+		ThreadsPerMachine: threads, Init: init}
 }
 
 func (fb factorizeBench) tensor() *dbtf.Tensor {
@@ -69,6 +69,10 @@ type BenchRecord struct {
 	// (same NNZ and Error — the kernels are thread-count-invariant).
 	// Absent (0) in snapshots written before the field existed, meaning 1.
 	ThreadsPerMachine int `json:"threads_per_machine,omitempty"`
+	// Init is the run's initialization scheme ("topfiber" for the
+	// data-aware init rows). Absent ("") in snapshots written before the
+	// field existed, meaning the fiber-sample default.
+	Init string `json:"init,omitempty"`
 }
 
 // BenchSnapshot is the top-level BENCH_<n>.json document.
@@ -103,11 +107,14 @@ func nextBenchIndex(dir string) (int, error) {
 }
 
 // runJSONBench measures every Factorize micro-benchmark — the pinned
-// single-thread rows plus, when threads > 1, a multicore row per workload
-// — and writes the snapshot to dir, returning the written path. The
-// multicore rows must reproduce the pinned rows' Error exactly; a
-// divergence means the parallel kernels broke determinism and fails the
-// run.
+// single-thread rows, a multicore row per workload when threads > 1, and
+// a topfiber-init row per workload — and writes the snapshot to dir,
+// returning the written path. The multicore rows must reproduce the same
+// init's pinned Error exactly; a divergence means the parallel kernels
+// broke determinism and fails the run. The init rows carry their own
+// pinned fingerprint: -compare diffs them against the same init only, so
+// the random-vs-topfiber cost difference is tracked without ever
+// confusing the two result fingerprints.
 func runJSONBench(dir string, threads int, progress *os.File) (string, error) {
 	idx, err := nextBenchIndex(dir)
 	if err != nil {
@@ -119,26 +126,31 @@ func runJSONBench(dir string, threads int, progress *os.File) (string, error) {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
-	threadRows := []int{1}
-	if threads > 1 {
-		threadRows = append(threadRows, threads)
+	type benchRow struct {
+		tpm  int
+		init dbtf.InitScheme
 	}
+	rows := []benchRow{{1, dbtf.InitFiberSample}}
+	if threads > 1 {
+		rows = append(rows, benchRow{threads, dbtf.InitFiberSample})
+	}
+	rows = append(rows, benchRow{1, dbtf.InitTopFiber})
 	for _, fb := range factorizeBenches {
 		x := fb.tensor()
-		var pinnedError int64
-		for _, tpm := range threadRows {
-			opt := fb.options(tpm)
+		pinnedError := map[dbtf.InitScheme]int64{}
+		for _, row := range rows {
+			opt := fb.options(row.tpm, row.init)
 			// One instrumented run for the simulated makespan and the
 			// result fingerprint, outside the timed loop.
 			res, err := dbtf.Factorize(context.Background(), x, opt)
 			if err != nil {
 				return "", fmt.Errorf("%s: %w", fb.Name, err)
 			}
-			if tpm == 1 {
-				pinnedError = res.Error
-			} else if res.Error != pinnedError {
-				return "", fmt.Errorf("%s: error %d at %d threads, %d pinned — parallel kernels broke determinism",
-					fb.Name, res.Error, tpm, pinnedError)
+			if row.tpm == 1 {
+				pinnedError[row.init] = res.Error
+			} else if res.Error != pinnedError[row.init] {
+				return "", fmt.Errorf("%s (init=%v): error %d at %d threads, %d pinned — parallel kernels broke determinism",
+					fb.Name, row.init, res.Error, row.tpm, pinnedError[row.init])
 			}
 			r := testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
@@ -157,12 +169,17 @@ func runJSONBench(dir string, threads int, progress *os.File) (string, error) {
 				SimMakespanNs:     res.SimTime.Nanoseconds(),
 				NNZ:               x.NNZ(),
 				Error:             res.Error,
-				ThreadsPerMachine: tpm,
+				ThreadsPerMachine: row.tpm,
+			}
+			// The fiber-sample default is written as "" so snapshots from
+			// before the field existed compare as the same configuration.
+			if row.init != dbtf.InitFiberSample {
+				rec.Init = row.init.String()
 			}
 			snap.Benches = append(snap.Benches, rec)
 			if progress != nil {
-				fmt.Fprintf(progress, "%-16s T=%-2d %12.0f ns/op %8d allocs/op %10d B/op  sim %v  err %d\n",
-					rec.Name, tpm, rec.NsPerOp, rec.AllocsPerOp, rec.BytesPerOp, res.SimTime.Round(time.Microsecond), rec.Error)
+				fmt.Fprintf(progress, "%-16s T=%-2d init=%-8v %12.0f ns/op %8d allocs/op %10d B/op  sim %v  err %d\n",
+					rec.Name, row.tpm, row.init, rec.NsPerOp, rec.AllocsPerOp, rec.BytesPerOp, res.SimTime.Round(time.Microsecond), rec.Error)
 			}
 		}
 	}
@@ -199,37 +216,51 @@ func threadsKey(t int) int {
 	return t
 }
 
+// initKey normalizes the pre-field snapshots: absent means the
+// fiber-sample default.
+func initKey(s string) string {
+	if s == "" {
+		return "fiber"
+	}
+	return s
+}
+
 // compareSnapshots is the regression gate behind -compare: every record of
-// cur whose (name, threads) pair also appears in prev must not regress
-// ns/op by more than maxGrowth (0.10 = +10%), and must reproduce prev's
-// workload fingerprint (NNZ, Error) exactly. Records without a
-// counterpart — e.g. a new multicore row — pass vacuously. Returns one
-// line per violation, empty when the gate passes.
+// cur whose (name, threads, init) triple also appears in prev must not
+// regress ns/op by more than maxGrowth (0.10 = +10%), and must reproduce
+// prev's workload fingerprint (NNZ, Error) exactly — per init scheme, so
+// a topfiber row is never held to the fiber-sample fingerprint. Records
+// without a counterpart — e.g. a new multicore or init row — pass
+// vacuously. Returns one line per violation, empty when the gate passes.
 func compareSnapshots(cur, prev *BenchSnapshot, maxGrowth float64) []string {
 	type key struct {
 		name    string
 		threads int
+		init    string
+	}
+	keyOf := func(r BenchRecord) key {
+		return key{r.Name, threadsKey(r.ThreadsPerMachine), initKey(r.Init)}
 	}
 	prevBy := make(map[key]BenchRecord, len(prev.Benches))
 	for _, r := range prev.Benches {
-		prevBy[key{r.Name, threadsKey(r.ThreadsPerMachine)}] = r
+		prevBy[keyOf(r)] = r
 	}
 	var violations []string
 	for _, r := range cur.Benches {
-		p, ok := prevBy[key{r.Name, threadsKey(r.ThreadsPerMachine)}]
+		p, ok := prevBy[keyOf(r)]
 		if !ok {
 			continue
 		}
 		if r.NNZ != p.NNZ || r.Error != p.Error {
 			violations = append(violations, fmt.Sprintf(
-				"%s (T=%d): workload fingerprint changed: nnz %d→%d, error %d→%d",
-				r.Name, threadsKey(r.ThreadsPerMachine), p.NNZ, r.NNZ, p.Error, r.Error))
+				"%s (T=%d init=%s): workload fingerprint changed: nnz %d→%d, error %d→%d",
+				r.Name, threadsKey(r.ThreadsPerMachine), initKey(r.Init), p.NNZ, r.NNZ, p.Error, r.Error))
 			continue
 		}
 		if limit := p.NsPerOp * (1 + maxGrowth); r.NsPerOp > limit {
 			violations = append(violations, fmt.Sprintf(
-				"%s (T=%d): %.0f ns/op vs %.0f baseline (+%.1f%% > +%.0f%% allowed)",
-				r.Name, threadsKey(r.ThreadsPerMachine), r.NsPerOp, p.NsPerOp,
+				"%s (T=%d init=%s): %.0f ns/op vs %.0f baseline (+%.1f%% > +%.0f%% allowed)",
+				r.Name, threadsKey(r.ThreadsPerMachine), initKey(r.Init), r.NsPerOp, p.NsPerOp,
 				100*(r.NsPerOp/p.NsPerOp-1), 100*maxGrowth))
 		}
 	}

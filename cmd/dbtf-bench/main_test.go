@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -52,11 +55,38 @@ func TestCompareSnapshotsGate(t *testing.T) {
 		// threads_per_machine absent in old snapshots means pinned: the
 		// explicit T=1 row still matches it.
 		{"explicit T=1 matches legacy", BenchRecord{Name: "FactorizeDim32", NsPerOp: 1200, NNZ: 5, Error: 3, ThreadsPerMachine: 1}, 1},
+		// A topfiber row has no counterpart in a default-init-only baseline:
+		// its different Error must NOT read as a fingerprint change.
+		{"new init row passes vacuously", BenchRecord{Name: "FactorizeDim32", NsPerOp: 9e9, NNZ: 5, Error: 7, Init: "topfiber"}, 0},
+		// init absent in old snapshots means the fiber-sample default: an
+		// explicit "fiber" row still matches it.
+		{"explicit fiber matches legacy", BenchRecord{Name: "FactorizeDim32", NsPerOp: 1200, NNZ: 5, Error: 3, Init: "fiber"}, 1},
 	}
 	for _, tc := range cases {
 		got := compareSnapshots(snapOf(tc.cur), snapOf(base), 0.10)
 		if len(got) != tc.violations {
 			t.Errorf("%s: %d violations %v, want %d", tc.name, len(got), got, tc.violations)
 		}
+	}
+}
+
+func TestCompareSnapshotsInitDimension(t *testing.T) {
+	// Once a baseline carries both init rows, each cur row is held to its
+	// own init's fingerprint and budget — never the other's.
+	base := snapOf(
+		BenchRecord{Name: "FactorizeDim32", NsPerOp: 1000, NNZ: 5, Error: 3},
+		BenchRecord{Name: "FactorizeDim32", NsPerOp: 800, NNZ: 5, Error: 7, Init: "topfiber"},
+	)
+	ok := snapOf(
+		BenchRecord{Name: "FactorizeDim32", NsPerOp: 1050, NNZ: 5, Error: 3},
+		BenchRecord{Name: "FactorizeDim32", NsPerOp: 820, NNZ: 5, Error: 7, Init: "topfiber"},
+	)
+	if got := compareSnapshots(ok, base, 0.10); len(got) != 0 {
+		t.Fatalf("matched init rows flagged: %v", got)
+	}
+	drifted := snapOf(BenchRecord{Name: "FactorizeDim32", NsPerOp: 820, NNZ: 5, Error: 8, Init: "topfiber"})
+	got := compareSnapshots(drifted, base, 0.10)
+	if len(got) != 1 || !strings.Contains(got[0], "init=topfiber") {
+		t.Fatalf("topfiber fingerprint drift not attributed: %v", got)
 	}
 }

@@ -41,6 +41,7 @@ func run(args []string) error {
 		threads    = fs.Int("threads", 1, "OS threads per simulated machine for intra-task row parallelism (dbtf, -transport sim; results are identical for any value)")
 		partitions = fs.Int("partitions", 0, "vertical partitions N (dbtf; 0 = machines)")
 		sets       = fs.Int("sets", 1, "initial factor sets L (dbtf)")
+		initMode   = fs.String("init", "", "initialization scheme: fiber, random, or topfiber (dbtf; default fiber) / topfiber or asso (bcpals; default topfiber)")
 		groupBits  = fs.Int("groupbits", 15, "cache group bits V (dbtf)")
 		seed       = fs.Int64("seed", 1, "random seed")
 		chaos      = fs.Float64("chaos", 0, "inject task failures at this rate into the simulated cluster (dbtf; panics at 1/4 and stragglers at 1/2 of the rate are injected too)")
@@ -89,6 +90,27 @@ func run(args []string) error {
 	}
 	if *ckDir != "" && *ckEvery <= 0 {
 		return fmt.Errorf("-checkpoint-every %d must be >= 1", *ckEvery)
+	}
+	// Parse -init per method so a typo fails before the tensor is read.
+	var dbtfInit dbtf.InitScheme
+	var bcpalsInit dbtf.BCPALSInit
+	switch *method {
+	case "bcpals":
+		v, err := dbtf.ParseBCPALSInit(*initMode)
+		if err != nil {
+			return fmt.Errorf("-init: %v", err)
+		}
+		bcpalsInit = v
+	case "dbtf":
+		v, err := dbtf.ParseInitScheme(*initMode)
+		if err != nil {
+			return fmt.Errorf("-init: %v", err)
+		}
+		dbtfInit = v
+	default:
+		if *initMode != "" {
+			return fmt.Errorf("-init requires -method dbtf or bcpals")
+		}
 	}
 	if *traceFmt != "jsonl" && *traceFmt != "chrome" {
 		return fmt.Errorf("-trace-format %q (want jsonl or chrome)", *traceFmt)
@@ -161,6 +183,7 @@ func run(args []string) error {
 				Machines:       *machines,
 				Partitions:     *partitions,
 				CacheGroupBits: *groupBits,
+				Init:           dbtfInit,
 				Seed:           *seed,
 			}, *autoRank)
 			if err != nil {
@@ -207,6 +230,7 @@ func run(args []string) error {
 			Workers:           workerAddrs,
 			Partitions:        *partitions,
 			CacheGroupBits:    *groupBits,
+			Init:              dbtfInit,
 			Seed:              *seed,
 			MaxRetries:        *maxRetries,
 			FailFast:          *failFast,
@@ -245,7 +269,7 @@ func run(args []string) error {
 			fmt.Printf("checkpoint: %d B written to %s\n", res.Stats.CheckpointBytes, *ckDir)
 		}
 	case "bcpals":
-		res, err := dbtf.FactorizeBCPALS(ctx, x, dbtf.BCPALSOptions{Rank: *rank, MaxIter: *maxIter})
+		res, err := dbtf.FactorizeBCPALS(ctx, x, dbtf.BCPALSOptions{Rank: *rank, MaxIter: *maxIter, Init: bcpalsInit})
 		if err != nil {
 			return err
 		}

@@ -196,6 +196,32 @@ func TestRunTraceFlagValidation(t *testing.T) {
 	}
 }
 
+func TestRunInitFlag(t *testing.T) {
+	path := writeTensor(t)
+	ok := map[string][]string{
+		"dbtf topfiber":   {"-rank", "2", "-machines", "2", "-init", "topfiber"},
+		"dbtf random":     {"-rank", "2", "-machines", "2", "-init", "random"},
+		"bcpals asso":     {"-rank", "2", "-method", "bcpals", "-init", "asso"},
+		"bcpals topfiber": {"-rank", "2", "-method", "bcpals", "-init", "topfiber"},
+	}
+	for name, extra := range ok {
+		if err := run(append([]string{"-input", path}, extra...)); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	bad := map[string][]string{
+		"dbtf unknown scheme":          {"-rank", "2", "-init", "bogus"},
+		"bcpals takes no fiber":        {"-rank", "2", "-method", "bcpals", "-init", "fiber"},
+		"walknmerge takes no init":     {"-rank", "2", "-method", "walknmerge", "-init", "topfiber"},
+		"topfiber rejects initialsets": {"-rank", "2", "-init", "topfiber", "-sets", "2"},
+	}
+	for name, extra := range bad {
+		if err := run(append([]string{"-input", path}, extra...)); err == nil {
+			t.Errorf("%s: invalid -init accepted: %v", name, extra)
+		}
+	}
+}
+
 func TestRunVerbose(t *testing.T) {
 	path := writeTensor(t)
 	if err := run([]string{"-input", path, "-rank", "2", "-v"}); err != nil {

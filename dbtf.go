@@ -159,7 +159,16 @@ const (
 	// paper's Algorithm 2 states literally; on sparse tensors the greedy
 	// update then collapses to all-zero factors. Kept for ablations.
 	InitRandom InitScheme = core.InitRandom
+	// InitTopFiber seeds components greedily from the tensor's top fibers
+	// (topFiberM): deterministic in the data alone, near-linear, and
+	// usually the fastest route to convergence. Rejects InitialSets > 1 —
+	// every set would be identical.
+	InitTopFiber InitScheme = core.InitTopFiber
 )
+
+// ParseInitScheme parses the flag spelling of an initialization scheme
+// ("fiber", "random", "topfiber"); the empty string selects the default.
+func ParseInitScheme(s string) (InitScheme, error) { return core.ParseInitScheme(s) }
 
 // MaxRank is the largest supported decomposition rank.
 const MaxRank = 64

@@ -9,10 +9,14 @@
 //     (C ⊙ B)ᵀ and the dense unfolded tensor rows in memory;
 //   - every Boolean row summation is recomputed from the materialized
 //     product rows — there is no caching;
-//   - its initialization applies ASSO to each mode's unfolding, whose
-//     column-association matrix is quadratic in the number of columns of
-//     the unfolded tensor (I·J·K / dimension per mode) — the space and
-//     time bottleneck the paper attributes to BCP_ALS.
+//   - its initialization factorizes each mode's unfolding. Historically
+//     that meant ASSO, whose column-association matrix is quadratic in the
+//     number of columns of the unfolded tensor (I·J·K / dimension per
+//     mode) — the space and time bottleneck the paper attributes to
+//     BCP_ALS. The default here is the near-linear greedy top-fiber
+//     factorization (topfiber package) instead, which makes the baseline
+//     an honest competitor at the sizes where ASSO init runs out of
+//     memory; InitASSO keeps the faithful quadratic path as an ablation.
 package bcpals
 
 import (
@@ -24,7 +28,49 @@ import (
 	"dbtf/internal/bitvec"
 	"dbtf/internal/boolmat"
 	"dbtf/internal/tensor"
+	"dbtf/internal/topfiber"
 )
+
+// Init selects how BCP_ALS initializes each mode's factor matrix.
+type Init int
+
+const (
+	// InitTopFiber factorizes each mode's unfolding with the near-linear
+	// greedy top-fiber scheme (topfiber package). The default: it removes
+	// the quadratic blowup without touching the alternating updates.
+	InitTopFiber Init = iota
+	// InitASSO applies ASSO to each mode's unfolding, materializing the
+	// quadratic column-association matrix — the faithful reproduction of
+	// the baseline the paper benchmarks, kept for the init ablation. Runs
+	// fail with asso.ErrCandidateMemory when the matrix exceeds
+	// MaxCandidateBytes.
+	InitASSO
+)
+
+// String returns the flag spelling of the init ("topfiber", "asso").
+func (i Init) String() string {
+	switch i {
+	case InitTopFiber:
+		return "topfiber"
+	case InitASSO:
+		return "asso"
+	default:
+		return fmt.Sprintf("Init(%d)", int(i))
+	}
+}
+
+// ParseInit parses the flag spelling of a BCP_ALS init. The empty string
+// selects the default (InitTopFiber).
+func ParseInit(s string) (Init, error) {
+	switch s {
+	case "", "topfiber":
+		return InitTopFiber, nil
+	case "asso":
+		return InitASSO, nil
+	default:
+		return 0, fmt.Errorf("bcpals: unknown init %q (want topfiber or asso)", s)
+	}
+}
 
 // Options configures a BCP_ALS decomposition.
 type Options struct {
@@ -35,15 +81,17 @@ type Options struct {
 	// MinIter disables the convergence check before this many iterations.
 	// Default 1.
 	MinIter int
-	// Tau is the ASSO initialization threshold. Default 0.7 (the paper's
-	// experimental setting).
+	// Init selects the per-mode initialization. Default InitTopFiber.
+	Init Init
+	// Tau is the ASSO initialization threshold under InitASSO. Default 0.7
+	// (the paper's experimental setting).
 	Tau float64
 	// Tolerance stops the iteration when the error improves by at most
 	// this much. Default 0.
 	Tolerance int64
-	// MaxCandidateBytes caps the ASSO candidate matrices; exceeding it
-	// fails the run like the out-of-memory failures the paper reports for
-	// BCP_ALS on real-world tensors. Default 1 GiB.
+	// MaxCandidateBytes caps the ASSO candidate matrices under InitASSO;
+	// exceeding it fails the run like the out-of-memory failures the paper
+	// reports for BCP_ALS on real-world tensors. Default 1 GiB.
 	MaxCandidateBytes int64
 }
 
@@ -90,13 +138,18 @@ func Decompose(ctx context.Context, x *tensor.Tensor, opts Options) (*Result, er
 	if opt.Tolerance < 0 {
 		return nil, fmt.Errorf("bcpals: Tolerance %d < 0", opt.Tolerance)
 	}
+	if opt.Init != InitTopFiber && opt.Init != InitASSO {
+		return nil, fmt.Errorf("bcpals: unknown init %d", int(opt.Init))
+	}
 
 	start := time.Now()
 	u1 := x.Unfold(tensor.Mode1)
 	u2 := x.Unfold(tensor.Mode2)
 	u3 := x.Unfold(tensor.Mode3)
 
-	// ASSO-based initialization per mode (the quadratic step).
+	// Per-mode initialization: the unfolding is factorized by the greedy
+	// top-fiber scheme (near-linear, the default) or by ASSO (quadratic,
+	// the faithful-ablation path).
 	a, err := initFactor(ctx, u1, opt)
 	if err != nil {
 		return nil, fmt.Errorf("bcpals: mode-1 initialization: %w", err)
@@ -145,8 +198,8 @@ func Decompose(ctx context.Context, x *tensor.Tensor, opts Options) (*Result, er
 	return res, nil
 }
 
-// initFactor initializes one factor matrix as the ASSO usage matrix of the
-// mode's unfolding.
+// initFactor initializes one factor matrix as the usage matrix of a
+// Boolean factorization of the mode's unfolding.
 func initFactor(ctx context.Context, u *tensor.Unfolded, opt Options) (*boolmat.FactorMatrix, error) {
 	dense := boolmat.NewMatrix(u.NumRows, u.NumCols)
 	for r := 0; r < u.NumRows; r++ {
@@ -155,11 +208,18 @@ func initFactor(ctx context.Context, u *tensor.Unfolded, opt Options) (*boolmat.
 			row.Set(int(c))
 		}
 	}
-	res, err := asso.Factorize(ctx, dense, asso.Options{
-		Rank:              opt.Rank,
-		Tau:               opt.Tau,
-		MaxCandidateBytes: opt.MaxCandidateBytes,
-	})
+	if opt.Init == InitASSO {
+		res, err := asso.Factorize(ctx, dense, asso.Options{
+			Rank:              opt.Rank,
+			Tau:               opt.Tau,
+			MaxCandidateBytes: opt.MaxCandidateBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res.U, nil
+	}
+	res, err := topfiber.Factorize(ctx, dense, opt.Rank)
 	if err != nil {
 		return nil, err
 	}

@@ -39,6 +39,7 @@ func TestValidation(t *testing.T) {
 		{"rank 65", x, Options{Rank: 65}},
 		{"neg maxiter", x, Options{Rank: 2, MaxIter: -2}},
 		{"neg tolerance", x, Options{Rank: 2, Tolerance: -1}},
+		{"unknown init", x, Options{Rank: 2, Init: Init(7)}},
 		{"empty", tensor.New(3, 0, 3), Options{Rank: 2}},
 	}
 	for _, tc := range cases {
@@ -120,13 +121,59 @@ func TestContextCancellation(t *testing.T) {
 }
 
 func TestMemoryCapSurfacesAsOOM(t *testing.T) {
-	// The quadratic initialization must fail cleanly when the candidate
-	// matrices exceed the cap — mirroring the paper's BCP_ALS O.O.M. rows.
+	// The quadratic ASSO initialization must fail cleanly when the
+	// candidate matrices exceed the cap — mirroring the paper's BCP_ALS
+	// O.O.M. rows.
 	rng := rand.New(rand.NewSource(6))
 	x := randomTensor(rng, 8, 32, 32, 0.05) // unfolded columns: 1024² bits
-	_, err := Decompose(ctxb(), x, Options{Rank: 2, MaxCandidateBytes: 1 << 10})
+	_, err := Decompose(ctxb(), x, Options{Rank: 2, Init: InitASSO, MaxCandidateBytes: 1 << 10})
 	if !errors.Is(err, asso.ErrCandidateMemory) {
 		t.Fatalf("err = %v, want ErrCandidateMemory", err)
+	}
+}
+
+func TestTopFiberInitSurvivesMemoryCap(t *testing.T) {
+	// The same tensor and cap that O.O.M. the ASSO init must sail through
+	// under the default top-fiber init: it materializes nothing quadratic,
+	// so the cap never applies — the quadratic-blowup fix of ISSUE 10.
+	rng := rand.New(rand.NewSource(6))
+	x := randomTensor(rng, 8, 32, 32, 0.05)
+	res, err := Decompose(ctxb(), x, Options{Rank: 2, MaxCandidateBytes: 1 << 10})
+	if err != nil {
+		t.Fatalf("topfiber init failed under the memory cap: %v", err)
+	}
+	if want := tensor.ReconstructError(x, res.A, res.B, res.C); res.Error != want {
+		t.Fatalf("reported error %d != recomputed %d", res.Error, want)
+	}
+}
+
+func TestInitStringAndParseRoundtrip(t *testing.T) {
+	for _, in := range []Init{InitTopFiber, InitASSO} {
+		got, err := ParseInit(in.String())
+		if err != nil || got != in {
+			t.Fatalf("ParseInit(%q) = %v, %v; want %v", in.String(), got, err, in)
+		}
+	}
+	if got, err := ParseInit(""); err != nil || got != InitTopFiber {
+		t.Fatalf("ParseInit(\"\") = %v, %v; want the topfiber default", got, err)
+	}
+	if _, err := ParseInit("random"); err == nil {
+		t.Fatal("unknown init name parsed without error")
+	}
+}
+
+func TestASSOInitStillMatchesReference(t *testing.T) {
+	// The legacy path must keep producing a valid factorization when the
+	// candidate matrices fit: the ablation needs both inits runnable on
+	// the same input.
+	rng := rand.New(rand.NewSource(8))
+	x := randomTensor(rng, 8, 8, 8, 0.15)
+	res, err := Decompose(ctxb(), x, Options{Rank: 2, MaxIter: 3, Init: InitASSO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := tensor.ReconstructError(x, res.A, res.B, res.C); res.Error != want {
+		t.Fatalf("reported error %d != recomputed %d", res.Error, want)
 	}
 }
 

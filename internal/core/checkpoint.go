@@ -30,9 +30,20 @@ func CheckpointFileName(fp uint64) string {
 	return fmt.Sprintf("checkpoint-%016x.dbtf", fp)
 }
 
-// checkpointMagic identifies the checkpoint format; the trailing byte is
-// the format version.
-var checkpointMagic = [8]byte{'D', 'B', 'T', 'F', 'C', 'K', 'P', 0x01}
+// checkpointMagicPrefix identifies the checkpoint format; the byte after
+// it is the format version (checkpointV1 or checkpointV2).
+var checkpointMagicPrefix = [7]byte{'D', 'B', 'T', 'F', 'C', 'K', 'P'}
+
+const (
+	// checkpointV1 is the original layout: the init configuration is only
+	// folded into the fingerprint, not recorded readably.
+	checkpointV1 = 0x01
+	// checkpointV2 additionally records the resolved init scheme and its
+	// parameters right after the fingerprint, so a resume under a changed
+	// init configuration can name the mismatch instead of reporting an
+	// opaque fingerprint difference. New checkpoints are written as v2.
+	checkpointV2 = 0x02
+)
 
 // checkpoint is a durable snapshot of a decomposition at an iteration
 // boundary: everything Decompose needs to continue the run bit-identically
@@ -40,9 +51,12 @@ var checkpointMagic = [8]byte{'D', 'B', 'T', 'F', 'C', 'K', 'P', 0x01}
 //
 // Binary layout (all integers little-endian):
 //
-//	magic      8 bytes  "DBTFCKP" + version 0x01
+//	magic      8 bytes  "DBTFCKP" + version (0x01 or 0x02)
 //	payload:
 //	  fingerprint      u64   config+tensor fingerprint (see fingerprint)
+//	  init             u32   resolved InitScheme            (v2 only)
+//	  initDensity      u64   float64 bits of InitDensity    (v2 only)
+//	  initialSets      u32   resolved InitialSets           (v2 only)
 //	  iteration        u32   completed iterations
 //	  converged        u8    1 if the convergence criterion already fired
 //	  rngDraws         u64   source draws consumed by initialization
@@ -52,6 +66,10 @@ var checkpointMagic = [8]byte{'D', 'B', 'T', 'F', 'C', 'K', 'P', 0x01}
 //	  A, B, C          boolmat.AppendBinary layout each
 //	crc32      u32  IEEE checksum of magic+payload
 type checkpoint struct {
+	// Version is the decoded image's format version; the zero value means
+	// "current" on encode. Decoded v1 images re-encode as v1 so that
+	// decode∘encode is the identity on every valid image.
+	Version         byte
 	Fingerprint     uint64
 	Iteration       int
 	Converged       bool
@@ -60,12 +78,28 @@ type checkpoint struct {
 	InitialErrors   []int64
 	IterationErrors []int64
 	A, B, C         *boolmat.FactorMatrix
+	// Init, InitDensity and InitialSets mirror the resolved options the
+	// checkpoint was written under (v2 images only; a v1 image leaves
+	// Init = -1 to mean "not recorded").
+	Init        InitScheme
+	InitDensity float64
+	InitialSets int
 }
 
 func (ck *checkpoint) encode() []byte {
 	le := binary.LittleEndian
-	buf := append([]byte(nil), checkpointMagic[:]...)
+	version := ck.Version
+	if version == 0 {
+		version = checkpointV2
+	}
+	buf := append([]byte(nil), checkpointMagicPrefix[:]...)
+	buf = append(buf, version)
 	buf = le.AppendUint64(buf, ck.Fingerprint)
+	if version >= checkpointV2 {
+		buf = le.AppendUint32(buf, uint32(ck.Init))
+		buf = le.AppendUint64(buf, math.Float64bits(ck.InitDensity))
+		buf = le.AppendUint32(buf, uint32(ck.InitialSets))
+	}
 	buf = le.AppendUint32(buf, uint32(ck.Iteration))
 	conv := byte(0)
 	if ck.Converged {
@@ -150,21 +184,42 @@ func (c *cursor) factor() (*boolmat.FactorMatrix, error) {
 // valid checkpoint: the CRC over the full image is verified before any
 // field is parsed.
 func decodeCheckpoint(data []byte) (*checkpoint, error) {
-	if len(data) < len(checkpointMagic)+4 {
+	if len(data) < len(checkpointMagicPrefix)+1+4 {
 		return nil, fmt.Errorf("core: checkpoint too short: %d bytes", len(data))
 	}
 	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
 	if got := crc32.ChecksumIEEE(body); got != sum {
 		return nil, fmt.Errorf("core: checkpoint checksum mismatch: %#x != %#x", got, sum)
 	}
-	if [8]byte(body[:8]) != checkpointMagic {
+	if [7]byte(body[:7]) != checkpointMagicPrefix {
 		return nil, fmt.Errorf("core: bad checkpoint magic %q", body[:8])
 	}
+	version := body[7]
+	if version != checkpointV1 && version != checkpointV2 {
+		return nil, fmt.Errorf("core: unsupported checkpoint version %#x", version)
+	}
 	c := &cursor{data: body[8:]}
-	ck := &checkpoint{}
+	ck := &checkpoint{Version: version, Init: -1}
 	var err error
 	if ck.Fingerprint, err = c.u64(); err != nil {
 		return nil, err
+	}
+	if version >= checkpointV2 {
+		init, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		ck.Init = InitScheme(int32(init))
+		density, err := c.u64()
+		if err != nil {
+			return nil, err
+		}
+		ck.InitDensity = math.Float64frombits(density)
+		sets, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		ck.InitialSets = int(sets)
 	}
 	iter, err := c.u32()
 	if err != nil {

@@ -2,8 +2,10 @@ package core
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -461,7 +463,11 @@ func FuzzCheckpointDecode(f *testing.F) {
 	small := &checkpoint{Iteration: 1, PrevErr: 9, IterationErrors: []int64{9},
 		A: boolmat.NewFactor(1, 1), B: boolmat.NewFactor(1, 1), C: boolmat.NewFactor(0, 1)}
 	f.Add(small.encode())
+	v1 := testCheckpoint()
+	v1.Version = checkpointV1
+	f.Add(v1.encode())
 	f.Add([]byte("DBTFCKP\x01 garbage"))
+	f.Add([]byte("DBTFCKP\x02 garbage"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ck, err := decodeCheckpoint(data)
@@ -474,4 +480,144 @@ func FuzzCheckpointDecode(f *testing.F) {
 			t.Fatalf("decode/encode not canonical:\nin:  %x\nout: %x", data, got)
 		}
 	})
+}
+
+func TestCheckpointV1DecodesAndReencodesCanonically(t *testing.T) {
+	// A v1 image (written by a pre-init-field build) must still decode,
+	// report "init not recorded" (Init = -1), and re-encode byte-identically
+	// in its own layout — the fuzz canonicality property, pinned explicitly.
+	v1 := testCheckpoint()
+	v1.Version = checkpointV1
+	img := v1.encode()
+	if img[7] != checkpointV1 {
+		t.Fatalf("version byte %#x, want v1", img[7])
+	}
+	got, err := decodeCheckpoint(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != checkpointV1 || got.Init != -1 {
+		t.Fatalf("decoded v1: Version %#x Init %d, want v1 with Init sentinel -1", got.Version, got.Init)
+	}
+	if !checkpointsEqual(v1, got) {
+		t.Fatal("v1 roundtrip mismatch")
+	}
+	if re := got.encode(); string(re) != string(img) {
+		t.Fatal("v1 image does not re-encode canonically")
+	}
+}
+
+func TestCheckpointV2RecordsInitConfig(t *testing.T) {
+	ck := testCheckpoint()
+	ck.Init = InitTopFiber
+	ck.InitDensity = 0.25
+	ck.InitialSets = 3
+	got, err := decodeCheckpoint(ck.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != checkpointV2 || got.Init != InitTopFiber ||
+		got.InitDensity != 0.25 || got.InitialSets != 3 {
+		t.Fatalf("v2 init fields not round-tripped: %+v", got)
+	}
+}
+
+func TestCheckpointDecodeRejectsUnknownVersion(t *testing.T) {
+	img := testCheckpoint().encode()
+	img[7] = 0x03
+	// Re-seal the CRC so only the version check can reject it.
+	body := img[:len(img)-4]
+	binary.LittleEndian.PutUint32(img[len(img)-4:], crc32.ChecksumIEEE(body))
+	if _, err := decodeCheckpoint(img); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("unknown version decoded: %v", err)
+	}
+}
+
+func TestResumeRejectsInitSchemeMismatch(t *testing.T) {
+	// Satellite of ISSUE 10: a legacy (un-namespaced) checkpoint written
+	// under one init scheme, resumed under another, must name the scheme
+	// mismatch instead of reporting an opaque fingerprint difference.
+	rng := rand.New(rand.NewSource(41))
+	x, _, _, _ := plantedTensor(rng, 12, 10, 8, 2, 0.3)
+	dir := t.TempDir()
+	opt := Options{Rank: 2, MaxIter: 3, MinIter: 3, Seed: 5, CheckpointDir: dir}
+	if _, err := Decompose(context.Background(), x, testCluster(2), opt); err != nil {
+		t.Fatal(err)
+	}
+	fp, err := Fingerprint(x, opt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(filepath.Join(dir, CheckpointFileName(fp)),
+		filepath.Join(dir, CheckpointFile)); err != nil {
+		t.Fatal(err)
+	}
+	opt.Init = InitTopFiber
+	opt.Resume = true
+	_, err = Decompose(context.Background(), x, testCluster(2), opt)
+	if err == nil || !strings.Contains(err.Error(), "init scheme") {
+		t.Fatalf("resume under a changed init scheme returned %v, want a named init-scheme mismatch", err)
+	}
+	if !strings.Contains(err.Error(), "fiber") || !strings.Contains(err.Error(), "topfiber") {
+		t.Fatalf("mismatch error does not name both schemes: %v", err)
+	}
+}
+
+func TestKillThenResumeTopFiberBitIdentical(t *testing.T) {
+	// Kill-at-k/resume through an init-mode run: the topfiber scheme draws
+	// nothing from the RNG, so the checkpointed stream state is zero draws
+	// and the resumed run must still be bit-identical.
+	rng := rand.New(rand.NewSource(43))
+	x, _, _, _ := plantedTensor(rng, 14, 12, 10, 3, 0.3)
+	base := Options{Rank: 3, MaxIter: 5, MinIter: 5, Init: InitTopFiber, CheckpointEvery: 1}
+
+	opt := base
+	opt.CheckpointDir = t.TempDir()
+	uninterrupted, err := Decompose(context.Background(), x, testCluster(4), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, k := range []int{1, 3} {
+		t.Run(fmt.Sprintf("kill after iteration %d", k), func(t *testing.T) {
+			opt := base
+			opt.CheckpointDir = t.TempDir()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			opt.Trace = func(format string, args ...any) {
+				line := fmt.Sprintf(format, args...)
+				var iter, bytes int
+				if n, _ := fmt.Sscanf(line, "checkpoint: iteration %d, %d bytes", &iter, &bytes); n == 2 && iter == k {
+					cancel()
+				}
+			}
+			if _, err := Decompose(ctx, x, testCluster(4), opt); !errors.Is(err, context.Canceled) {
+				t.Fatalf("killed run returned %v, want context.Canceled", err)
+			}
+			fp, err := Fingerprint(x, opt, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ck, err := readCheckpoint(opt.CheckpointDir, fp)
+			if err != nil || ck == nil || ck.Iteration != k {
+				t.Fatalf("latest checkpoint after kill: %+v, %v; want iteration %d", ck, err, k)
+			}
+			if ck.RNGDraws != 0 {
+				t.Fatalf("topfiber checkpoint records %d RNG draws, want 0 (the scheme is deterministic)", ck.RNGDraws)
+			}
+			if ck.Init != InitTopFiber {
+				t.Fatalf("checkpoint init scheme %v, want topfiber", ck.Init)
+			}
+
+			opt.Trace = nil
+			opt.Resume = true
+			resumed, err := Decompose(context.Background(), x, testCluster(4), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !resultsEqual(uninterrupted, resumed) {
+				t.Fatal("topfiber run resumed from a kill differs from the uninterrupted run")
+			}
+		})
+	}
 }

@@ -35,6 +35,7 @@ import (
 	"dbtf/internal/partition"
 	"dbtf/internal/sumcache"
 	"dbtf/internal/tensor"
+	"dbtf/internal/topfiber"
 	"dbtf/internal/trace"
 	"dbtf/internal/transport"
 )
@@ -56,7 +57,44 @@ const (
 	// which holds for a random component only at tensor density > 0.5.
 	// Kept for the initialization ablation.
 	InitRandom
+	// InitTopFiber seeds the components greedily from the top fibers of
+	// the tensor (topFiberM): component r grows from the mode-1 fiber
+	// covering the most nonzeros outside components 0..r-1. Deterministic
+	// in the tensor and rank alone — it consumes no randomness, so the
+	// Seed is irrelevant and InitialSets > 1 is rejected (every set would
+	// be identical). See the topfiber package.
+	InitTopFiber
 )
+
+// String returns the flag spelling of the scheme ("fiber", "random",
+// "topfiber"), or a numeric form for unknown values.
+func (s InitScheme) String() string {
+	switch s {
+	case InitFiberSample:
+		return "fiber"
+	case InitRandom:
+		return "random"
+	case InitTopFiber:
+		return "topfiber"
+	default:
+		return fmt.Sprintf("InitScheme(%d)", int(s))
+	}
+}
+
+// ParseInitScheme parses the flag spelling of an initialization scheme.
+// The empty string selects the default (InitFiberSample).
+func ParseInitScheme(s string) (InitScheme, error) {
+	switch s {
+	case "", "fiber":
+		return InitFiberSample, nil
+	case "random":
+		return InitRandom, nil
+	case "topfiber":
+		return InitTopFiber, nil
+	default:
+		return 0, fmt.Errorf("core: unknown init scheme %q (want fiber, random or topfiber)", s)
+	}
+}
 
 // Options configures a decomposition. The zero value of every field selects
 // the default documented on the field.
@@ -72,7 +110,11 @@ type Options struct {
 	MinIter int
 	// InitialSets is the number of random initial factor sets L evaluated
 	// in the first iteration, of which the best is kept (Algorithm 2,
-	// lines 5-8). Default 1 (the paper's default).
+	// lines 5-8). The zero value is the named sentinel InitialSetsAuto,
+	// which selects the paper's default of 1; requesting L = 0 sets
+	// outright is impossible and anything negative errors. InitTopFiber
+	// rejects L > 1: the scheme is deterministic, so every set would be
+	// identical and L−1 first-iteration sweeps would be wasted.
 	InitialSets int
 	// Partitions is the number of vertical partitions N per unfolded
 	// tensor. Default: the cluster's machine count.
@@ -87,9 +129,13 @@ type Options struct {
 	// Init selects the initialization scheme. Default InitFiberSample.
 	Init InitScheme
 	// InitDensity is the density of the random initial factor matrices
-	// under InitRandom. Default: (density(X)/R)^(1/3) clamped to
-	// [0.01, 0.5], which makes the expected density of the initial
-	// reconstruction match the tensor's.
+	// under InitRandom, and meaningful only there: a non-zero value with
+	// any other scheme is rejected instead of silently ignored. The zero
+	// value is the named sentinel InitDensityAuto, which selects
+	// (density(X)/R)^(1/3) clamped to [0.01, 0.5] — the expected density
+	// of the initial reconstruction then matches the tensor's. An
+	// explicit density of exactly 0 (the all-zero factorization) is
+	// impossible to request; the sentinel owns that value.
 	InitDensity float64
 	// Seed seeds the deterministic random initialization.
 	Seed int64
@@ -130,6 +176,19 @@ type Options struct {
 	Trace func(format string, args ...any)
 }
 
+// Named sentinels for the Options fields whose zero value requests a
+// computed default. They make "use the default" an explicit, spellable
+// request instead of a silent mutation of a zero the caller may have
+// meant literally: an impossible literal request (L = 0 initial sets, a
+// density-0 random init) has no spelling at all.
+const (
+	// InitialSetsAuto requests the default number of initial sets (1).
+	InitialSetsAuto = 0
+	// InitDensityAuto requests the density-matched initial density under
+	// InitRandom; see Options.InitDensity.
+	InitDensityAuto = 0.0
+)
+
 func (o *Options) withDefaults(x *tensor.Tensor, machines int) (Options, error) {
 	opt := *o
 	if opt.Rank < 1 || opt.Rank > boolmat.MaxRank {
@@ -147,11 +206,19 @@ func (o *Options) withDefaults(x *tensor.Tensor, machines int) (Options, error) 
 	if opt.MinIter < 1 || opt.MinIter > opt.MaxIter {
 		return opt, fmt.Errorf("core: MinIter %d outside [1,%d]", opt.MinIter, opt.MaxIter)
 	}
-	if opt.InitialSets == 0 {
+	switch {
+	case opt.Init == InitFiberSample || opt.Init == InitRandom || opt.Init == InitTopFiber:
+	default:
+		return opt, fmt.Errorf("core: unknown init scheme %d", int(opt.Init))
+	}
+	if opt.InitialSets == InitialSetsAuto {
 		opt.InitialSets = 1
 	}
 	if opt.InitialSets < 1 {
 		return opt, fmt.Errorf("core: InitialSets %d < 1", opt.InitialSets)
+	}
+	if opt.Init == InitTopFiber && opt.InitialSets > 1 {
+		return opt, fmt.Errorf("core: InitialSets %d > 1 is meaningless with the deterministic topfiber init (every set would be identical)", opt.InitialSets)
 	}
 	if opt.Partitions == 0 {
 		opt.Partitions = machines
@@ -168,12 +235,22 @@ func (o *Options) withDefaults(x *tensor.Tensor, machines int) (Options, error) 
 	if opt.Tolerance < 0 {
 		return opt, fmt.Errorf("core: Tolerance %d < 0", opt.Tolerance)
 	}
-	if opt.InitDensity == 0 {
-		d := math.Cbrt(x.Density() / float64(opt.Rank))
-		opt.InitDensity = math.Min(0.5, math.Max(0.01, d))
-	}
-	if opt.InitDensity < 0 || opt.InitDensity > 1 {
-		return opt, fmt.Errorf("core: InitDensity %v outside [0,1]", opt.InitDensity)
+	if opt.Init != InitRandom {
+		// InitDensity parameterizes only the random scheme. Rejecting it
+		// elsewhere (rather than ignoring it) also keeps the config
+		// fingerprint honest: an unused parameter must not be auto-filled
+		// from the tensor's density and then hashed.
+		if opt.InitDensity != InitDensityAuto {
+			return opt, fmt.Errorf("core: InitDensity %v is only meaningful with InitRandom (scheme is %v)", opt.InitDensity, opt.Init)
+		}
+	} else {
+		if opt.InitDensity == InitDensityAuto {
+			d := math.Cbrt(x.Density() / float64(opt.Rank))
+			opt.InitDensity = math.Min(0.5, math.Max(0.01, d))
+		}
+		if opt.InitDensity < 0 || opt.InitDensity > 1 {
+			return opt, fmt.Errorf("core: InitDensity %v outside [0,1]", opt.InitDensity)
+		}
 	}
 	if opt.CheckpointEvery < 0 {
 		return opt, fmt.Errorf("core: CheckpointEvery %d < 0", opt.CheckpointEvery)
@@ -310,6 +387,25 @@ func Decompose(ctx context.Context, x *tensor.Tensor, cl *cluster.Cluster, opts 
 			return nil, err
 		}
 		if ck != nil {
+			// A v2 checkpoint records its init configuration readably, so a
+			// changed init scheme gets a targeted error before the opaque
+			// fingerprint check. This matters for the legacy un-namespaced
+			// fallback file: continuing it under a different init would not
+			// be bit-identical to any uninterrupted run.
+			if ck.Version >= checkpointV2 {
+				if ck.Init != opt.Init {
+					return nil, fmt.Errorf("core: checkpoint was written with init scheme %v, run uses %v; resume requires the same init scheme",
+						ck.Init, opt.Init)
+				}
+				if ck.InitialSets != opt.InitialSets {
+					return nil, fmt.Errorf("core: checkpoint was written with InitialSets %d, run uses %d; resume requires the same init configuration",
+						ck.InitialSets, opt.InitialSets)
+				}
+				if ck.InitDensity != opt.InitDensity {
+					return nil, fmt.Errorf("core: checkpoint was written with InitDensity %v, run uses %v; resume requires the same init configuration",
+						ck.InitDensity, opt.InitDensity)
+				}
+			}
 			if ck.Fingerprint != d.fp {
 				return nil, fmt.Errorf("core: checkpoint fingerprint %#x does not match run fingerprint %#x (config or tensor changed)",
 					ck.Fingerprint, d.fp)
@@ -395,7 +491,16 @@ func Decompose(ctx context.Context, x *tensor.Tensor, cl *cluster.Cluster, opts 
 		}
 		best := set{err: math.MaxInt64}
 		for l := 0; l < opt.InitialSets; l++ {
-			ia, ib, ic := initialSet(rng, x, opt)
+			// Drawing the initial factors is driver-side work like the
+			// unfold: a named span charges its wall time to the driver
+			// section, so per-stage attribution sees the init scheme's cost
+			// (topfiber's data passes are not free, just near-linear).
+			var ia, ib, ic *boolmat.FactorMatrix
+			if err := d.cl.DriverNamed(d.ctx, "init", func() {
+				ia, ib, ic = initialSet(rng, x, opt)
+			}); err != nil {
+				return nil, err
+			}
 			s := set{a: ia, b: ib, c: ic}
 			if err := d.updateFactors(s.a, s.b, s.c); err != nil {
 				return nil, err
@@ -481,9 +586,14 @@ func Decompose(ctx context.Context, x *tensor.Tensor, cl *cluster.Cluster, opts 
 }
 
 // initialSet draws one set of initial factor matrices according to the
-// configured scheme.
+// configured scheme. InitTopFiber consumes no randomness: the RNG draw
+// count (and with it the checkpointed stream state) advances only for the
+// sampling schemes.
 func initialSet(rng *rand.Rand, x *tensor.Tensor, opt Options) (a, b, c *boolmat.FactorMatrix) {
 	i, j, k := x.Dims()
+	if opt.Init == InitTopFiber {
+		return topfiber.SeedFactors(x, opt.Rank)
+	}
 	if opt.Init == InitRandom {
 		return boolmat.RandomFactor(rng, i, opt.Rank, opt.InitDensity),
 			boolmat.RandomFactor(rng, j, opt.Rank, opt.InitDensity),
@@ -647,6 +757,9 @@ func (d *decomposition) writeCheckpointStage(res *Result, a, b, c *boolmat.Facto
 		InitialErrors:   res.InitialErrors,
 		IterationErrors: res.IterationErrors,
 		A:               a, B: b, C: c,
+		Init:        d.opt.Init,
+		InitDensity: d.opt.InitDensity,
+		InitialSets: d.opt.InitialSets,
 	}
 	var bytes int64
 	var werr error

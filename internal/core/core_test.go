@@ -55,7 +55,11 @@ func TestDecomposeValidation(t *testing.T) {
 		{"negative partitions", x, Options{Rank: 2, Partitions: -1}},
 		{"negative groupbits", x, Options{Rank: 2, GroupBits: -1}},
 		{"negative tolerance", x, Options{Rank: 2, Tolerance: -5}},
-		{"bad init density", x, Options{Rank: 2, InitDensity: 1.5}},
+		{"bad init density", x, Options{Rank: 2, Init: InitRandom, InitDensity: 1.5}},
+		{"density without random init", x, Options{Rank: 2, InitDensity: 0.3}},
+		{"density with topfiber init", x, Options{Rank: 2, Init: InitTopFiber, InitDensity: 0.3}},
+		{"multiple sets with topfiber init", x, Options{Rank: 2, Init: InitTopFiber, InitialSets: 2}},
+		{"unknown init scheme", x, Options{Rank: 2, Init: InitScheme(9)}},
 		{"empty tensor", tensor.New(0, 3, 3), Options{Rank: 2}},
 	}
 	for _, tc := range cases {
@@ -596,4 +600,126 @@ func TestFiberSampleInitAnchorsToData(t *testing.T) {
 	}
 	_ = b
 	_ = c
+}
+
+func TestInitTopFiberSeedIndependent(t *testing.T) {
+	// The topfiber scheme consumes no randomness: two runs under different
+	// seeds are bit-identical, and so is a run with any InitialSetsAuto
+	// spelling of the single-set default.
+	rng := rand.New(rand.NewSource(31))
+	x, _, _, _ := plantedTensor(rng, 16, 14, 12, 3, 0.3)
+	base := Options{Rank: 3, MaxIter: 4, MinIter: 4, Init: InitTopFiber}
+	r1, err := Decompose(context.Background(), x, testCluster(4), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded := base
+	seeded.Seed = 999
+	seeded.InitialSets = 1
+	r2, err := Decompose(context.Background(), x, testCluster(4), seeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsEqual(r1, r2) {
+		t.Fatal("topfiber runs under different seeds differ; the scheme must not consume randomness")
+	}
+}
+
+func TestInitTopFiberThreadCountInvariance(t *testing.T) {
+	// Satellite of ISSUE 10: topfiber-seeded runs are bit-identical for
+	// every ThreadsPerMachine — the init is driver-side and deterministic,
+	// and the distributed stages were already thread-invariant.
+	rng := rand.New(rand.NewSource(33))
+	x, _, _, _ := plantedTensor(rng, 18, 16, 14, 3, 0.25)
+	var ref *Result
+	for _, threads := range []int{1, 2, 4, 8} {
+		cl := cluster.New(cluster.Config{Machines: 4, ThreadsPerMachine: threads})
+		res, err := Decompose(context.Background(), x, cl, Options{
+			Rank: 3, MaxIter: 4, MinIter: 4, Init: InitTopFiber})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if !resultsEqual(ref, res) {
+			t.Fatalf("topfiber run with %d threads/machine differs from 1-thread run", threads)
+		}
+	}
+}
+
+func TestInitTopFiberExactRecoveryRank1(t *testing.T) {
+	// A rank-1 tensor's top fiber is inside the planted block, so the seed
+	// already reconstructs it and the first iteration keeps error 0.
+	rng := rand.New(rand.NewSource(35))
+	x, _, _, _ := plantedTensor(rng, 20, 20, 20, 1, 0.4)
+	res, err := Decompose(context.Background(), x, testCluster(2), Options{
+		Rank: 1, MaxIter: 5, Init: InitTopFiber})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Error != 0 {
+		t.Fatalf("rank-1 recovery error %d, want 0", res.Error)
+	}
+}
+
+func TestInitialSetsAutoSentinelMatchesExplicitOne(t *testing.T) {
+	// Regression for the zero-as-unset fix: the named sentinel and the
+	// explicit default must resolve to the same run.
+	rng := rand.New(rand.NewSource(37))
+	x, _, _, _ := plantedTensor(rng, 12, 12, 12, 2, 0.3)
+	auto, err := Decompose(context.Background(), x, testCluster(2),
+		Options{Rank: 2, MaxIter: 3, MinIter: 3, Seed: 4, InitialSets: InitialSetsAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := Decompose(context.Background(), x, testCluster(2),
+		Options{Rank: 2, MaxIter: 3, MinIter: 3, Seed: 4, InitialSets: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsEqual(auto, one) {
+		t.Fatal("InitialSetsAuto does not match an explicit InitialSets of 1")
+	}
+}
+
+func TestInitDensityNotAutoFilledOutsideRandom(t *testing.T) {
+	// Regression for the zero-as-unset fix: under non-random schemes the
+	// unused InitDensity must stay zero instead of being auto-filled from
+	// the tensor's density — otherwise the config fingerprint depends on a
+	// parameter the run never reads.
+	rng := rand.New(rand.NewSource(39))
+	x := randomTensor(rng, 8, 8, 8, 0.2)
+	for _, scheme := range []InitScheme{InitFiberSample, InitTopFiber} {
+		opt, err := (&Options{Rank: 2, Init: scheme}).withDefaults(x, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.InitDensity != 0 {
+			t.Fatalf("scheme %v: InitDensity auto-filled to %v, want untouched 0", scheme, opt.InitDensity)
+		}
+	}
+	opt, err := (&Options{Rank: 2, Init: InitRandom}).withDefaults(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.InitDensity <= 0 {
+		t.Fatalf("InitRandom: InitDensity not auto-filled (got %v)", opt.InitDensity)
+	}
+}
+
+func TestInitSchemeStringAndParseRoundtrip(t *testing.T) {
+	for _, scheme := range []InitScheme{InitFiberSample, InitRandom, InitTopFiber} {
+		got, err := ParseInitScheme(scheme.String())
+		if err != nil || got != scheme {
+			t.Fatalf("ParseInitScheme(%q) = %v, %v; want %v", scheme.String(), got, err, scheme)
+		}
+	}
+	if got, err := ParseInitScheme(""); err != nil || got != InitFiberSample {
+		t.Fatalf("ParseInitScheme(\"\") = %v, %v; want the default", got, err)
+	}
+	if _, err := ParseInitScheme("assoc"); err == nil {
+		t.Fatal("unknown scheme name parsed without error")
+	}
 }

@@ -98,8 +98,14 @@ type Run struct {
 	Sim time.Duration
 	// OOT and OOM mark budget and memory failures.
 	OOT, OOM bool
+	// FailDetail attributes a failure: which baseline and which stage hit
+	// the budget or the memory cap (e.g. the init mode that materialized
+	// the quadratic candidate matrix). Empty for successful runs.
+	FailDetail string
 	// Err holds any other failure.
 	Err error
+	// Iters is the number of full iterations executed (DBTF and BCP_ALS).
+	Iters int
 	// Error is the Boolean reconstruction error (successful runs).
 	Error int64
 	// Rel is Error / |X|.
@@ -158,6 +164,13 @@ type MethodOptions struct {
 	MergeThreshold float64
 	// InitialSets (L) for DBTF; 0 means 1.
 	InitialSets int
+	// Init selects DBTF's initialization scheme; the zero value is the
+	// fiber-sample default.
+	Init dbtf.InitScheme
+	// BCPALSInit selects BCP_ALS's per-mode initialization; the zero value
+	// is the top-fiber default, BCPALSInitASSO restores the quadratic
+	// historical path.
+	BCPALSInit dbtf.BCPALSInit
 	// Partitions (N) for DBTF; 0 means the cluster's machine count.
 	Partitions int
 	// FullIterations forces exactly 10 update sweeps for DBTF and BCP_ALS
@@ -183,6 +196,7 @@ func RunMethod(cfg Config, m Method, x *dbtf.Tensor, opt MethodOptions) Run {
 			Machines:    cfg.Machines,
 			Partitions:  opt.Partitions,
 			InitialSets: opt.InitialSets,
+			Init:        opt.Init,
 			Seed:        cfg.Seed,
 			Tracer:      cfg.Tracer,
 		}
@@ -193,19 +207,21 @@ func RunMethod(cfg Config, m Method, x *dbtf.Tensor, opt MethodOptions) Run {
 		res, err = dbtf.Factorize(ctx, x, o)
 		if err == nil {
 			run.Sim = res.SimTime
+			run.Iters = res.Iterations
 			run.Error = res.Error
 			run.Rel = res.RelativeError
 			run.Factors = res.Factors
 			run.Stats = res.Stats
 		}
 	case BCPALS:
-		o := dbtf.BCPALSOptions{Rank: opt.Rank}
+		o := dbtf.BCPALSOptions{Rank: opt.Rank, Init: opt.BCPALSInit}
 		if opt.FullIterations {
 			o.MaxIter, o.MinIter = 10, 10
 		}
 		var res *dbtf.BCPALSResult
 		res, err = dbtf.FactorizeBCPALS(ctx, x, o)
 		if err == nil {
+			run.Iters = res.Iterations
 			run.Error = res.Error
 			run.Factors = dbtf.Factors{A: res.A, B: res.B, C: res.C}
 			if x.NNZ() > 0 {
@@ -234,13 +250,34 @@ func RunMethod(cfg Config, m Method, x *dbtf.Tensor, opt MethodOptions) Run {
 	case errors.Is(err, context.DeadlineExceeded):
 		run.OOT = true
 		run.Wall = cfg.Budget
+		run.FailDetail = failDetail(m, opt, "time budget exceeded")
 	case errors.Is(err, asso.ErrCandidateMemory):
 		run.OOM = true
+		run.FailDetail = failDetail(m, opt, err.Error())
 	case err != nil:
 		run.Err = err
 	}
-	cfg.progress("  %-13s %-10s rel=%s", m, run.TimeCell(), run.ErrCell(run.Rel))
+	if run.FailDetail != "" {
+		cfg.progress("  %-13s %-10s rel=%s  [%s]", m, run.TimeCell(), run.ErrCell(run.Rel), run.FailDetail)
+	} else {
+		cfg.progress("  %-13s %-10s rel=%s", m, run.TimeCell(), run.ErrCell(run.Rel))
+	}
 	return run
+}
+
+// failDetail attributes a failure to the baseline and the init stage it
+// ran under, so an o.o.m./o.o.t. table cell can be traced to the exact
+// configuration that gave out (historically: BCP_ALS's ASSO init
+// materializing its quadratic candidate matrix).
+func failDetail(m Method, opt MethodOptions, cause string) string {
+	switch m {
+	case DBTF:
+		return fmt.Sprintf("%s init=%s: %s", m, opt.Init, cause)
+	case BCPALS:
+		return fmt.Sprintf("%s init=%s: %s", m, opt.BCPALSInit, cause)
+	default:
+		return fmt.Sprintf("%s: %s", m, cause)
+	}
 }
 
 // Table is one reproduced table or figure, as formatted rows.

@@ -19,7 +19,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1a", "fig1b", "fig1c", "fig6", "fig7",
 		"table1", "table3", "traffic",
 		"err-density", "err-rank", "err-add", "err-del",
-		"abl-cache", "abl-groupbits", "abl-partitioning", "abl-partitions", "abl-initsets",
+		"abl-cache", "abl-groupbits", "abl-partitioning", "abl-partitions", "abl-initsets", "abl-init",
 		"ext-tucker", "ext-rankselect", "ext-wnm-mdl",
 		"chaos",
 	}
@@ -191,5 +191,42 @@ func TestAblationCacheRuns(t *testing.T) {
 		if row[1] == "error" || row[2] == "error" {
 			t.Fatalf("ablation run errored: %v", row)
 		}
+	}
+}
+
+func TestFailDetailAttribution(t *testing.T) {
+	d := failDetail(BCPALS, MethodOptions{BCPALSInit: dbtf.BCPALSInitASSO}, "candidate matrix exceeds memory cap")
+	for _, want := range []string{"BCP_ALS", "asso", "memory cap"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("BCP_ALS o.o.m. detail %q missing %q", d, want)
+		}
+	}
+	d = failDetail(DBTF, MethodOptions{Init: dbtf.InitTopFiber}, "time budget exceeded")
+	for _, want := range []string{"DBTF", "topfiber", "budget"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("DBTF o.o.t. detail %q missing %q", d, want)
+		}
+	}
+}
+
+func TestBCPALSInitOOMAttributionAndTopFiberSurvival(t *testing.T) {
+	// A tensor whose unfolded columns push ASSO's candidate matrix over the
+	// ablation's cap: the asso row must report o.o.m. (attributed in the
+	// progress stream), and the topfiber row must complete on the exact
+	// same input — the quadratic-blowup fix the ablation demonstrates.
+	cfg := tiny()
+	var progress bytes.Buffer
+	cfg.Progress = &progress
+	x := dbtf.RandomTensor(cfg.rng(), 8, 110, 110, 0.01) // 12100² bits ≈ 18 MiB > 16 MiB cap
+	row := runBCPALSInit(cfg, x, dbtf.BCPALSInitASSO)
+	if row[0] != "o.o.m." {
+		t.Fatalf("asso init row = %v, want o.o.m.", row)
+	}
+	if out := progress.String(); !strings.Contains(out, "init=asso") {
+		t.Fatalf("o.o.m. progress line does not attribute the init stage: %q", out)
+	}
+	row = runBCPALSInit(cfg, x, dbtf.BCPALSInitTopFiber)
+	if row[0] == "o.o.m." || row[0] == "error" {
+		t.Fatalf("topfiber init row = %v, want success on the input that o.o.m.s ASSO", row)
 	}
 }

@@ -214,7 +214,7 @@ func (r *Runner) specFor(rng *rand.Rand, tenant string, giant bool) serve.JobSpe
 			MaxIter: 10, MinIter: 10, Seed: rng.Int63n(1 << 30),
 		}
 	}
-	return serve.JobSpec{
+	spec := serve.JobSpec{
 		Tenant:   tenant,
 		TensorID: fmt.Sprintf("small%d", rng.Intn(3)),
 		Rank:     3,
@@ -223,6 +223,13 @@ func (r *Runner) specFor(rng *rand.Rand, tenant string, giant bool) serve.JobSpe
 		Seed:     rng.Int63n(1 << 30),
 		Priority: rng.Intn(5),
 	}
+	// A third of the small jobs exercise the deterministic topfiber init,
+	// so eviction/resume and the local rerun verify both init paths. The
+	// draw stays on the same rng stream so the schedule is reproducible.
+	if rng.Intn(3) == 0 {
+		spec.Init = "topfiber"
+	}
+	return spec
 }
 
 // SubmitAll runs the open-loop arrival phase: each tenant submits its
@@ -490,6 +497,7 @@ func (r *Runner) Verify(baseURL string) (verified, mismatches int, err error) {
 			MaxIter:     rec.spec.MaxIter,
 			MinIter:     rec.spec.MinIter,
 			InitialSets: rec.spec.InitialSets,
+			Init:        rec.spec.InitScheme(),
 			Tolerance:   rec.spec.Tolerance,
 			Seed:        rec.spec.Seed,
 		})

@@ -351,6 +351,7 @@ func (s *Server) runSlice(ctx context.Context, j *Job) (*core.Result, error) {
 		MaxIter:         j.Spec.MaxIter,
 		MinIter:         j.Spec.MinIter,
 		InitialSets:     j.Spec.InitialSets,
+		Init:            j.Spec.InitScheme(),
 		Tolerance:       j.Spec.Tolerance,
 		Seed:            j.Spec.Seed,
 		CheckpointDir:   ckdir,

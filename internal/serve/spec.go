@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 
+	"dbtf/internal/core"
 	"dbtf/internal/tensor"
 )
 
@@ -53,6 +54,10 @@ type JobSpec struct {
 	MinIter int `json:"min_iter,omitempty"`
 	// InitialSets is the number of initial factor sets tried.
 	InitialSets int `json:"initial_sets,omitempty"`
+	// Init selects the initialization scheme: "fiber" (default),
+	// "random", or "topfiber". Part of the checkpoint fingerprint, so a
+	// resubmitted spec must keep it to resume a prior run's checkpoint.
+	Init string `json:"init,omitempty"`
 	// Seed makes the job deterministic; resubmitting the same spec
 	// against the same tensor reproduces the same factors bit for bit.
 	Seed int64 `json:"seed,omitempty"`
@@ -98,7 +103,21 @@ func (s *JobSpec) Validate() error {
 	case s.Priority < -100 || s.Priority > 100:
 		return fmt.Errorf("serve: priority must be -100..100, got %d", s.Priority)
 	}
+	scheme, err := core.ParseInitScheme(s.Init)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if scheme == core.InitTopFiber && s.InitialSets > 1 {
+		return fmt.Errorf("serve: init %q is deterministic; initial_sets %d would try identical sets", s.Init, s.InitialSets)
+	}
 	return nil
+}
+
+// InitScheme returns the spec's parsed initialization scheme; Validate
+// must have accepted the spec.
+func (s *JobSpec) InitScheme() core.InitScheme {
+	scheme, _ := core.ParseInitScheme(s.Init)
+	return scheme
 }
 
 // DecodeJobSpec parses and validates one job spec from at most

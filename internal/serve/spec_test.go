@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"dbtf/internal/core"
 	"dbtf/internal/tensor"
 )
 
@@ -31,12 +32,31 @@ func TestDecodeJobSpecRejects(t *testing.T) {
 		"trailing data":    `{"tenant":"a","tensor_id":"t","rank":2}{"again":1}`,
 		"negative iter":    `{"tenant":"a","tensor_id":"t","rank":2,"max_iter":-1}`,
 		"huge priority":    `{"tenant":"a","tensor_id":"t","rank":2,"priority":1000}`,
+		"unknown init":     `{"tenant":"a","tensor_id":"t","rank":2,"init":"bogus"}`,
+		"topfiber + sets":  `{"tenant":"a","tensor_id":"t","rank":2,"init":"topfiber","initial_sets":4}`,
 		"not json":         `rank=2`,
 		"empty":            ``,
 	}
 	for name, body := range cases {
 		if _, err := DecodeJobSpec(strings.NewReader(body)); err == nil {
 			t.Errorf("%s: DecodeJobSpec accepted %q", name, body)
+		}
+	}
+}
+
+func TestJobSpecInitScheme(t *testing.T) {
+	for body, want := range map[string]core.InitScheme{
+		`{"tenant":"a","tensor_id":"t","rank":2}`:                   core.InitFiberSample,
+		`{"tenant":"a","tensor_id":"t","rank":2,"init":"fiber"}`:    core.InitFiberSample,
+		`{"tenant":"a","tensor_id":"t","rank":2,"init":"random"}`:   core.InitRandom,
+		`{"tenant":"a","tensor_id":"t","rank":2,"init":"topfiber"}`: core.InitTopFiber,
+	} {
+		spec, err := DecodeJobSpec(strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: %v", body, err)
+		}
+		if got := spec.InitScheme(); got != want {
+			t.Errorf("%s: InitScheme() = %v, want %v", body, got, want)
 		}
 	}
 }
@@ -88,6 +108,8 @@ func TestDecodeTensorBothFormats(t *testing.T) {
 func FuzzJobSpecDecode(f *testing.F) {
 	f.Add(`{"tenant":"acme","tensor_id":"t1","rank":4}`)
 	f.Add(`{"tenant":"a","tensor_id":"t","rank":2,"max_iter":20,"min_iter":5,"initial_sets":3,"seed":-9,"tolerance":1,"priority":100}`)
+	f.Add(`{"tenant":"a","tensor_id":"t","rank":2,"init":"topfiber"}`)
+	f.Add(`{"tenant":"a","tensor_id":"t","rank":2,"init":"random","initial_sets":4}`)
 	f.Add(`{"tenant":"` + strings.Repeat("x", 100) + `","tensor_id":"t","rank":2}`)
 	f.Add(`{}`)
 	f.Add(`[1,2,3]`)

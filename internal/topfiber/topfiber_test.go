@@ -1,0 +1,194 @@
+package topfiber
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dbtf/internal/boolmat"
+	"dbtf/internal/tensor"
+)
+
+func randomTensor(rng *rand.Rand, i, j, k int, density float64) *tensor.Tensor {
+	var coords []tensor.Coord
+	for a := 0; a < i; a++ {
+		for b := 0; b < j; b++ {
+			for c := 0; c < k; c++ {
+				if rng.Float64() < density {
+					coords = append(coords, tensor.Coord{I: a, J: b, K: c})
+				}
+			}
+		}
+	}
+	return tensor.MustFromCoords(i, j, k, coords)
+}
+
+func TestSeedFactorsDeterministic(t *testing.T) {
+	x := randomTensor(rand.New(rand.NewSource(1)), 14, 12, 10, 0.15)
+	a1, b1, c1 := SeedFactors(x, 4)
+	a2, b2, c2 := SeedFactors(x, 4)
+	if !a1.Equal(a2) || !b1.Equal(b2) || !c1.Equal(c2) {
+		t.Fatal("SeedFactors is not deterministic on identical input")
+	}
+}
+
+func TestSeedFactorsRecoversSingleBlock(t *testing.T) {
+	// A single dense block is a rank-1 tensor; the top fiber runs straight
+	// through it and the majority vote recovers the full block, so the seed
+	// alone already reconstructs x exactly.
+	var coords []tensor.Coord
+	for i := 3; i < 11; i++ {
+		for j := 2; j < 9; j++ {
+			for k := 5; k < 12; k++ {
+				coords = append(coords, tensor.Coord{I: i, J: j, K: k})
+			}
+		}
+	}
+	x := tensor.MustFromCoords(16, 16, 16, coords)
+	a, b, c := SeedFactors(x, 1)
+	if err := tensor.ReconstructError(x, a, b, c); err != 0 {
+		t.Fatalf("rank-1 block seed error %d, want 0", err)
+	}
+}
+
+func TestSeedFactorsSpreadsAcrossBlocks(t *testing.T) {
+	// Two disjoint blocks: the second component must not pile onto the
+	// first (already covered) block but seed the other one.
+	var coords []tensor.Coord
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			for k := 0; k < 5; k++ {
+				coords = append(coords, tensor.Coord{I: i, J: j, K: k})
+				coords = append(coords, tensor.Coord{I: i + 8, J: j + 8, K: k + 8})
+			}
+		}
+	}
+	x := tensor.MustFromCoords(16, 16, 16, coords)
+	a, b, c := SeedFactors(x, 2)
+	if err := tensor.ReconstructError(x, a, b, c); err != 0 {
+		t.Fatalf("two disjoint blocks not both seeded: error %d, want 0", err)
+	}
+}
+
+func TestSeedFactorsEmptyTensorAndExhaustedRank(t *testing.T) {
+	a, b, c := SeedFactors(tensor.New(4, 4, 4), 3)
+	if a.OnesCount() != 0 || b.OnesCount() != 0 || c.OnesCount() != 0 {
+		t.Fatal("empty tensor must seed empty factors")
+	}
+	// More components than structures: the surplus components stay empty
+	// instead of duplicating covered fibers.
+	var coords []tensor.Coord
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 4; k++ {
+				coords = append(coords, tensor.Coord{I: i, J: j, K: k})
+			}
+		}
+	}
+	x := tensor.MustFromCoords(8, 8, 8, coords)
+	a, b, c = SeedFactors(x, 4)
+	if err := tensor.ReconstructError(x, a, b, c); err != 0 {
+		t.Fatalf("block not covered: error %d", err)
+	}
+	for r := 1; r < 4; r++ {
+		if a.Column(r).Any() && b.Column(r).Any() && c.Column(r).Any() {
+			t.Fatalf("component %d seeded although the block was already covered", r)
+		}
+	}
+}
+
+func TestFactorizeValidation(t *testing.T) {
+	x := boolmat.NewMatrix(3, 3)
+	if _, err := Factorize(context.Background(), x, 0); err == nil {
+		t.Error("rank 0 accepted")
+	}
+	if _, err := Factorize(context.Background(), x, 65); err == nil {
+		t.Error("rank 65 accepted")
+	}
+	if _, err := Factorize(context.Background(), boolmat.NewMatrix(0, 3), 2); err == nil {
+		t.Error("empty matrix accepted")
+	}
+}
+
+func TestFactorizeContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	x := boolmat.NewMatrix(4, 4)
+	x.Set(1, 1, true)
+	if _, err := Factorize(ctx, x, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestFactorizeRecoversRowStructure(t *testing.T) {
+	// Two distinct row patterns repeated across rows: rank 2 recovers the
+	// matrix exactly, since both patterns are rows of x itself.
+	x := boolmat.NewMatrix(8, 10)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 10; j++ {
+			if (i%2 == 0 && j < 5) || (i%2 == 1 && j >= 5) {
+				x.Set(i, j, true)
+			}
+		}
+	}
+	res, err := Factorize(context.Background(), x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Error != 0 {
+		t.Fatalf("two-pattern matrix not recovered: error %d", res.Error)
+	}
+}
+
+func TestFactorizeErrorMatchesReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := boolmat.NewMatrix(12, 20)
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 20; j++ {
+			if rng.Float64() < 0.2 {
+				x.Set(i, j, true)
+			}
+		}
+	}
+	res, err := Factorize(context.Background(), x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := boolmat.MulFactor(res.U, res.S)
+	if want := int64(x.XorCount(rec)); res.Error != want {
+		t.Fatalf("reported error %d != recomputed %d", res.Error, want)
+	}
+	// The greedy only ever adds components with positive cover gain, so
+	// the factorization cannot be worse than the trivial empty one.
+	var ones int64
+	for i := 0; i < 12; i++ {
+		ones += int64(x.Row(i).OnesCount())
+	}
+	if res.Error > ones {
+		t.Fatalf("error %d worse than trivial all-zero %d", res.Error, ones)
+	}
+}
+
+func TestFactorizeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := boolmat.NewMatrix(10, 16)
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 16; j++ {
+			if rng.Float64() < 0.25 {
+				x.Set(i, j, true)
+			}
+		}
+	}
+	r1, err := Factorize(context.Background(), x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Factorize(context.Background(), x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.U.Equal(r2.U) || r1.Error != r2.Error {
+		t.Fatal("Factorize is not deterministic on identical input")
+	}
+}

@@ -210,6 +210,87 @@ func TestTransportTCPThreadedWorkersIdentical(t *testing.T) {
 	}
 }
 
+// TestTransportTCPTopFiberInitIdentical pins the new deterministic
+// initializer across backends: a topfiber-seeded run over real worker
+// processes must match the simulated cluster bit for bit — factors,
+// iteration trajectory, and stage/task/traffic accounting. The init runs
+// on the driver (it consumes no RNG draws and no cluster stages), so any
+// divergence here means the transport leaked into the seeding.
+func TestTransportTCPTopFiberInitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	const machines = 3
+	_, addrs := startWorkerProcs(t, machines)
+	for seed := int64(7); seed <= 8; seed++ {
+		x := diffTensor(t, seed)
+		opt := dbtf.Options{Rank: 4, Machines: machines, MaxIter: 5, Seed: seed, Init: dbtf.InitTopFiber}
+		sim, err := dbtf.Factorize(context.Background(), x, opt)
+		if err != nil {
+			t.Fatalf("seed %d: simulated: %v", seed, err)
+		}
+		opt.Workers = addrs
+		tcp, err := dbtf.Factorize(context.Background(), x, opt)
+		if err != nil {
+			t.Fatalf("seed %d: tcp: %v", seed, err)
+		}
+		assertIdentical(t, seed, "tcp transport with topfiber init", sim, tcp)
+		if fmt.Sprint(tcp.IterationErrors) != fmt.Sprint(sim.IterationErrors) {
+			t.Errorf("seed %d: iteration trajectory %v over tcp, %v simulated",
+				seed, tcp.IterationErrors, sim.IterationErrors)
+		}
+		ts, ss := tcp.Stats, sim.Stats
+		if ts.Stages != ss.Stages || ts.Tasks != ss.Tasks {
+			t.Errorf("seed %d: stages/tasks %d/%d over tcp, %d/%d simulated",
+				seed, ts.Stages, ts.Tasks, ss.Stages, ss.Tasks)
+		}
+		if ts.ShuffledBytes != ss.ShuffledBytes || ts.BroadcastBytes != ss.BroadcastBytes || ts.CollectedBytes != ss.CollectedBytes {
+			t.Errorf("seed %d: traffic %d/%d/%d over tcp, %d/%d/%d simulated",
+				seed, ts.ShuffledBytes, ts.BroadcastBytes, ts.CollectedBytes,
+				ss.ShuffledBytes, ss.BroadcastBytes, ss.CollectedBytes)
+		}
+		// Data-determined seeding: the same run with a different seed must
+		// still produce the same factors (the RNG is never consulted).
+		opt.Workers = nil
+		opt.Seed = seed + 100
+		reseeded, err := dbtf.Factorize(context.Background(), x, opt)
+		if err != nil {
+			t.Fatalf("seed %d: reseeded: %v", seed, err)
+		}
+		assertIdentical(t, seed, "topfiber under a different seed", sim, reseeded)
+	}
+}
+
+// TestTransportTCPTopFiberThreadedWorkersIdentical repeats the topfiber
+// differential with -threads 4 worker processes: the init rows of the
+// bench suite run exactly this configuration in CI.
+func TestTransportTCPTopFiberThreadedWorkersIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	const (
+		machines = 3
+		seed     = int64(9)
+	)
+	_, addrs := startWorkerProcs(t, machines, "-threads", "4")
+	x := diffTensor(t, seed)
+	opt := dbtf.Options{Rank: 4, Machines: machines, MaxIter: 5, Seed: seed, Init: dbtf.InitTopFiber}
+	sim, err := dbtf.Factorize(context.Background(), x, opt)
+	if err != nil {
+		t.Fatalf("simulated: %v", err)
+	}
+	opt.Workers = addrs
+	tcp, err := dbtf.Factorize(context.Background(), x, opt)
+	if err != nil {
+		t.Fatalf("tcp (threaded workers): %v", err)
+	}
+	assertIdentical(t, seed, "tcp transport with threaded workers and topfiber init", sim, tcp)
+	if fmt.Sprint(tcp.IterationErrors) != fmt.Sprint(sim.IterationErrors) {
+		t.Errorf("iteration trajectory %v over threaded tcp, %v simulated",
+			tcp.IterationErrors, sim.IterationErrors)
+	}
+}
+
 // TestTransportTCPSurvivesWorkerKill kills a live worker process after the
 // first iteration. The coordinator must detect the loss, reroute the dead
 // machine's partitions to the ring successor, and still produce factors
